@@ -1,0 +1,90 @@
+"""Ablation of the adaptive-partitioning heuristics h2-h5 (DESIGN.md).
+
+Disables one heuristic at a time (h1, the spatial default, always holds)
+and measures end-to-end latency under the Base configuration, plus the
+direction mix each variant produces.  This quantifies each rule's
+contribution to the adaptive scheme Table 4 evaluates as a whole.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import format_table
+from repro.compiler import CompileOptions, compile_model
+from repro.models import get_model
+from repro.partition import ALL_HEURISTICS, PartitionDirection
+from repro.sim import simulate
+
+from benchmarks.conftest import emit
+
+MODELS = ["InceptionV3", "MobileNetV2"]
+VARIANTS = ["all"] + sorted(ALL_HEURISTICS)  # "h2".."h5" = that one disabled
+
+_rows = {}
+
+
+def _measure(npu, model: str, variant: str):
+    key = (model, variant)
+    if key not in _rows:
+        enabled = (
+            ALL_HEURISTICS
+            if variant == "all"
+            else ALL_HEURISTICS - {variant}
+        )
+        opts = dataclasses.replace(
+            CompileOptions.base(), enabled_heuristics=frozenset(enabled)
+        )
+        compiled = compile_model(get_model(model), npu, opts)
+        latency = simulate(compiled.program, npu).latency_us
+        dirs = compiled.partition.directions_summary()
+        _rows[key] = (
+            latency,
+            dirs.get(PartitionDirection.SPATIAL, 0),
+            dirs.get(PartitionDirection.CHANNEL, 0),
+        )
+    return _rows[key]
+
+
+@pytest.mark.parametrize("model", MODELS)
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_ablation_point(benchmark, npu, model, variant):
+    latency, n_spatial, n_channel = benchmark.pedantic(
+        lambda: _measure(npu, model, variant), rounds=1, iterations=1
+    )
+    benchmark.extra_info["latency_us"] = round(latency, 1)
+    benchmark.extra_info["spatial_layers"] = n_spatial
+    benchmark.extra_info["channel_layers"] = n_channel
+
+
+def test_ablation_report(benchmark, npu, out_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for model in MODELS:
+        full, _, _ = _measure(npu, model, "all")
+        for variant in VARIANTS:
+            latency, n_spatial, n_channel = _measure(npu, model, variant)
+            label = "all heuristics" if variant == "all" else f"without {variant}"
+            rows.append(
+                [
+                    model if variant == "all" else "",
+                    label,
+                    f"{latency:,.1f}us",
+                    f"{latency / full:.3f}",
+                    n_spatial,
+                    n_channel,
+                ]
+            )
+    table = format_table(
+        ["Model", "Variant", "Latency", "vs all", "#spatial", "#channel"],
+        rows,
+        title="Heuristic ablation (Base configuration, 3 cores)",
+    )
+    emit(out_dir, "ablation_heuristics.txt", table)
+    # Disabling a heuristic changes the direction mix for at least one rule.
+    base_mix = _measure(npu, "InceptionV3", "all")[1:]
+    assert any(
+        _measure(npu, "InceptionV3", v)[1:] != base_mix for v in VARIANTS[1:]
+    )

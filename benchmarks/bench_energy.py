@@ -1,0 +1,67 @@
+"""Energy ablation (extension): what the optimizations buy in joules.
+
+The paper motivates feature-map forwarding with "performance, power, and
+memory bandwidth" (Section 3); this bench quantifies the power half on
+the simulated machine: per-configuration energy breakdowns for every zoo
+model, with DRAM traffic -- the dominant term -- falling as forwarding
+and strata eliminate store/load round trips.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table, sweep_configurations
+from repro.models import ZOO
+from repro.sim import estimate_energy
+
+from benchmarks.conftest import emit
+
+LABELS = ["1-core", "Base", "+Halo", "+Stratum"]
+
+_reports = {}
+
+
+def _energy(npu, model: str):
+    if model not in _reports:
+        info = next(m for m in ZOO if m.name == model)
+        sweep = sweep_configurations(info.factory(), npu)
+        _reports[model] = {
+            label: estimate_energy(sweep[label].sim.trace, sweep[label].compiled.npu)
+            for label in LABELS
+        }
+    return _reports[model]
+
+
+@pytest.mark.parametrize("model", [m.name for m in ZOO])
+def test_energy_model(benchmark, npu, model):
+    reports = benchmark.pedantic(lambda: _energy(npu, model), rounds=1, iterations=1)
+    for label in LABELS:
+        benchmark.extra_info[f"{label}_uj"] = round(reports[label].total_uj, 1)
+
+
+def test_energy_report(benchmark, npu, out_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for info in ZOO:
+        reports = _energy(npu, info.name)
+        base = reports["Base"]
+        strat = reports["+Stratum"]
+        rows.append(
+            [
+                info.name,
+                *(f"{reports[l].total_uj:,.0f}" for l in LABELS),
+                f"{base.dram_uj / strat.dram_uj:.2f}x",
+            ]
+        )
+    table = format_table(
+        ["Model"] + [f"{l} (uJ)" for l in LABELS] + ["DRAM saving"],
+        rows,
+        title="Energy per inference by configuration (extension experiment)",
+    )
+    emit(out_dir, "energy.txt", table)
+
+    # Forwarding + strata must reduce DRAM energy vs Base on every model.
+    for info in ZOO:
+        reports = _energy(npu, info.name)
+        assert reports["+Stratum"].dram_uj <= reports["Base"].dram_uj

@@ -1,0 +1,84 @@
+"""Figure 11: performance (1/latency) of the four cumulative configurations
+across the six benchmark CNNs, plus the speedup summary quoted in the
+abstract (Base ~2x ceiling, +Halo ~1.07x, +Stratum ~1.23x cumulative,
+~2.1x over single core).
+
+Run with ``pytest benchmarks/bench_fig11_performance.py --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.analysis import format_table, speedups, sweep_configurations
+from repro.models import ZOO
+
+from benchmarks.conftest import emit
+
+CONFIG_LABELS = ["1-core", "Base", "+Halo", "+Stratum"]
+
+_sweeps = {}
+
+
+def _sweep(npu, name):
+    if name not in _sweeps:
+        info = next(m for m in ZOO if m.name == name)
+        _sweeps[name] = sweep_configurations(info.factory(), npu)
+    return _sweeps[name]
+
+
+@pytest.mark.parametrize("model", [m.name for m in ZOO])
+def test_fig11_model(benchmark, npu, model):
+    """Wall-time of the full compile+simulate sweep; simulated metrics in
+    extra_info."""
+    result = benchmark.pedantic(
+        lambda: _sweep(npu, model), rounds=1, iterations=1
+    )
+    for label in CONFIG_LABELS:
+        benchmark.extra_info[f"{label}_latency_us"] = round(
+            result[label].latency_us, 1
+        )
+    s = speedups(result)
+    benchmark.extra_info["speedup_vs_1core"] = round(s["+Stratum"], 3)
+
+
+def test_fig11_report(benchmark, npu, out_dir):
+    # uses the benchmark fixture so the report also runs (and is timed)
+    # under --benchmark-only.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    ratios = {"base": [], "halo": [], "stratum": [], "total": []}
+    for info in ZOO:
+        sweep = _sweep(npu, info.name)
+        lat = {label: sweep[label].latency_us for label in CONFIG_LABELS}
+        perf = {label: 1000.0 / lat[label] for label in CONFIG_LABELS}
+        ratios["base"].append(lat["1-core"] / lat["Base"])
+        ratios["halo"].append(lat["Base"] / lat["+Halo"])
+        ratios["stratum"].append(lat["Base"] / lat["+Stratum"])
+        ratios["total"].append(lat["1-core"] / lat["+Stratum"])
+        rows.append(
+            [info.name]
+            + [f"{perf[label]:.3f}" for label in CONFIG_LABELS]
+            + [f"{lat['1-core'] / lat['+Stratum']:.2f}x"]
+        )
+    g = statistics.geometric_mean
+    table = format_table(
+        ["Model"] + [f"{c} (1/ms)" for c in CONFIG_LABELS] + ["speedup"],
+        rows,
+        title="Figure 11: performance (1/latency) per configuration",
+    )
+    summary = "\n".join(
+        [
+            "",
+            "Average (geomean) ratios vs paper:",
+            f"  Base / 1-core        : {g(ratios['base']):.2f}x   (paper ~1.71x)",
+            f"  +Halo / Base         : {g(ratios['halo']):.3f}x  (paper ~1.07x)",
+            f"  +Stratum / Base      : {g(ratios['stratum']):.3f}x  (paper ~1.23x)",
+            f"  +Stratum / 1-core    : {g(ratios['total']):.2f}x   (paper ~2.1x)",
+        ]
+    )
+    emit(out_dir, "fig11_performance.txt", table + summary)
+    assert g(ratios["base"]) > 1.2
+    assert g(ratios["total"]) > 1.5

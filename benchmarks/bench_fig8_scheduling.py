@@ -1,0 +1,86 @@
+"""Figure 6/8: layer-scheduling strategies compared quantitatively.
+
+The paper's Figure 8 is a qualitative matrix -- depth-first order favors
+data reusability (forwarding, strata), breadth-first extends the span
+between synchronization points, and Algorithm 1 mixes both per layer.
+This bench puts numbers on that matrix across the zoo under the full
+optimization stack.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import format_table
+from repro.compiler import CompileOptions, ScheduleStrategy, compile_model
+from repro.models import ZOO
+from repro.sim import simulate
+
+from benchmarks.conftest import emit
+
+MODELS = ["InceptionV3", "MobileNetV2", "MobileNetV2-SSD", "UNet"]
+
+_rows = {}
+
+
+def _measure(npu, model: str, strategy: ScheduleStrategy):
+    key = (model, strategy)
+    if key not in _rows:
+        info = next(m for m in ZOO if m.name == model)
+        opts = dataclasses.replace(
+            CompileOptions.stratum_config(), schedule_strategy=strategy
+        )
+        compiled = compile_model(info.factory(), npu, opts)
+        latency = simulate(compiled.program, npu).latency_us
+        _rows[key] = (
+            latency,
+            compiled.num_barriers,
+            compiled.num_forwarded_edges(),
+            len(compiled.strata.strata),
+        )
+    return _rows[key]
+
+
+@pytest.mark.parametrize("model", MODELS)
+@pytest.mark.parametrize("strategy", list(ScheduleStrategy), ids=str)
+def test_scheduling_point(benchmark, npu, model, strategy):
+    latency, barriers, fwd, strata = benchmark.pedantic(
+        lambda: _measure(npu, model, strategy), rounds=1, iterations=1
+    )
+    benchmark.extra_info["latency_us"] = round(latency, 1)
+    benchmark.extra_info["barriers"] = barriers
+    benchmark.extra_info["forwarded"] = fwd
+
+
+def test_scheduling_report(benchmark, npu, out_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for model in MODELS:
+        for strategy in ScheduleStrategy:
+            latency, barriers, fwd, strata = _measure(npu, model, strategy)
+            rows.append(
+                [
+                    model if strategy is ScheduleStrategy.ALGORITHM1 else "",
+                    strategy.value,
+                    f"{latency:,.1f}us",
+                    barriers,
+                    fwd,
+                    strata,
+                ]
+            )
+    table = format_table(
+        ["Model", "Strategy", "Latency", "Barriers", "Forwarded", "Strata"],
+        rows,
+        title="Figure 8 quantified: scheduling strategies under the full stack",
+    )
+    emit(out_dir, "fig8_scheduling.txt", table)
+
+    # Figure 8's qualitative claims, checked on a branchy model:
+    model = "InceptionV3"
+    _, b_df, f_df, _ = _measure(npu, model, ScheduleStrategy.DEPTH_FIRST)
+    _, b_bf, f_bf, _ = _measure(npu, model, ScheduleStrategy.BREADTH_FIRST)
+    # depth-first maximizes reuse; breadth-first minimizes sync points.
+    assert f_df >= f_bf
+    assert b_bf <= b_df

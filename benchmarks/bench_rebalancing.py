@@ -1,0 +1,66 @@
+"""Profile-guided rebalancing ablation (Section 3.1.3).
+
+The paper notes that independently compiled sub-layers "may incur
+unbalanced workload across multicores and unnecessary idle time ...
+profiling execution assists to detect unwanted idle times and fix the
+unbalance."  This bench measures what that feedback loop recovers on the
+zoo models.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.compiler import CompileOptions, profile_guided_rebalance
+from repro.models import ZOO
+
+from benchmarks.conftest import emit
+
+MODELS = ["InceptionV3", "MobileNetV2", "MobileDet-SSD", "DeepLabV3+"]
+
+_reports = {}
+
+
+def _rebalance(npu, model: str):
+    if model not in _reports:
+        info = next(m for m in ZOO if m.name == model)
+        _, _, report = profile_guided_rebalance(
+            info.factory(), npu, CompileOptions.stratum_config(), max_iterations=3
+        )
+        _reports[model] = report
+    return _reports[model]
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_rebalance_model(benchmark, npu, model):
+    report = benchmark.pedantic(lambda: _rebalance(npu, model), rounds=1, iterations=1)
+    benchmark.extra_info["initial_us"] = round(report.initial_latency_us, 1)
+    benchmark.extra_info["final_us"] = round(report.final_latency_us, 1)
+    benchmark.extra_info["improvement"] = round(report.improvement, 4)
+
+
+def test_rebalance_report(benchmark, npu, out_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for model in MODELS:
+        r = _rebalance(npu, model)
+        rows.append(
+            [
+                model,
+                f"{r.initial_latency_us:,.1f}us",
+                f"{r.final_latency_us:,.1f}us",
+                f"{r.improvement:.3f}x",
+                r.adjusted_layers,
+                r.iterations_run,
+            ]
+        )
+    table = format_table(
+        ["Model", "Analytical", "Rebalanced", "Gain", "Layers adjusted", "Iterations"],
+        rows,
+        title="Profile-guided rebalancing on the +Stratum stack",
+    )
+    emit(out_dir, "rebalancing.txt", table)
+    # never a regression, by construction.
+    for model in MODELS:
+        assert _rebalance(npu, model).improvement >= 1.0

@@ -1,0 +1,67 @@
+"""Core-count scaling ablation (beyond the paper's 3-core evaluation).
+
+Sweeps 1..6 homogeneous cores under the full optimization stack and
+reports per-model speedup curves.  The shape to expect: memory-bound
+models saturate once the aggregate DMA reaches the bus bandwidth, while
+alignment constraints (h3's concern) erode utilization for shallow
+tensors at high core counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.compiler import CompileOptions, compile_model
+from repro.hw import homogeneous
+from repro.models import get_model
+from repro.sim import simulate
+
+from benchmarks.conftest import emit
+
+MODELS = ["MobileNetV2", "InceptionV3", "UNet"]
+CORE_COUNTS = [1, 2, 3, 4, 6]
+
+_latencies = {}
+
+
+def _latency(model: str, cores: int) -> float:
+    key = (model, cores)
+    if key not in _latencies:
+        npu = homogeneous(cores, dma_bytes_per_cycle=14.0, bus_bytes_per_cycle=48.0)
+        opts = (
+            CompileOptions.single_core()
+            if cores == 1
+            else CompileOptions.stratum_config()
+        )
+        compiled = compile_model(get_model(model), npu, opts)
+        _latencies[key] = simulate(compiled.program, npu).latency_us
+    return _latencies[key]
+
+
+@pytest.mark.parametrize("model", MODELS)
+@pytest.mark.parametrize("cores", CORE_COUNTS)
+def test_scaling_point(benchmark, model, cores):
+    latency = benchmark.pedantic(
+        lambda: _latency(model, cores), rounds=1, iterations=1
+    )
+    benchmark.extra_info["latency_us"] = round(latency, 1)
+
+
+def test_scaling_report(benchmark, out_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for model in MODELS:
+        base = _latency(model, 1)
+        rows.append(
+            [model] + [f"{base / _latency(model, n):.2f}x" for n in CORE_COUNTS]
+        )
+    table = format_table(
+        ["Model"] + [f"{n} cores" for n in CORE_COUNTS],
+        rows,
+        title="Core-count scaling (speedup vs 1 core, +Stratum stack)",
+    )
+    emit(out_dir, "scaling_cores.txt", table)
+    # speedup is monotone from 1 -> 3 cores for every model.
+    for model in MODELS:
+        assert _latency(model, 3) < _latency(model, 1)

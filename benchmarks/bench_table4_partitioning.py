@@ -1,0 +1,90 @@
+"""Table 4: per-core data-transfer amount and idle time of InceptionV3
+under spatial-only, channel-only, and adaptive partitioning.
+
+The paper's claim: adaptive partitioning has the smallest total transfer,
+the least mean idle time, and the lowest idle variance across cores.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table, table4_profiles
+from repro.models import get_model
+from repro.partition import PartitionPolicy
+
+from benchmarks.conftest import emit
+
+_profiles = {}
+
+
+def _get_profiles(npu):
+    if not _profiles:
+        _profiles.update(table4_profiles(get_model("InceptionV3"), npu))
+    return _profiles
+
+
+@pytest.mark.parametrize(
+    "policy",
+    [
+        PartitionPolicy.SPATIAL_ONLY,
+        PartitionPolicy.CHANNEL_ONLY,
+        PartitionPolicy.ADAPTIVE,
+    ],
+    ids=lambda p: p.value,
+)
+def test_table4_policy(benchmark, npu, policy):
+    profiles = benchmark.pedantic(
+        lambda: _get_profiles(npu), rounds=1, iterations=1
+    )
+    profile = profiles[policy]
+    benchmark.extra_info["total_transfer_kb"] = round(profile.total_transfer_kb)
+    benchmark.extra_info["idle_mean_us"] = round(profile.idle_mean_us, 1)
+    benchmark.extra_info["idle_std_us"] = round(profile.idle_std_us, 1)
+
+
+def test_table4_report(benchmark, npu, out_dir):
+    # uses the benchmark fixture so the report also runs (and is timed)
+    # under --benchmark-only.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    profiles = _get_profiles(npu)
+    rows = []
+    for policy in (
+        PartitionPolicy.SPATIAL_ONLY,
+        PartitionPolicy.CHANNEL_ONLY,
+        PartitionPolicy.ADAPTIVE,
+    ):
+        p = profiles[policy]
+        for core, (kb, idle) in enumerate(
+            zip(p.transfer_kb_per_core, p.idle_us_per_core)
+        ):
+            rows.append(
+                [
+                    p.policy.value if core == 0 else "",
+                    f"P{core}",
+                    f"{kb:,.0f}KB",
+                    f"mu:{p.transfer_mean_kb:,.0f}KB sd:{p.transfer_std_kb:,.0f}KB"
+                    if core == 1
+                    else "",
+                    f"{idle:,.0f}us",
+                    f"mu:{p.idle_mean_us:,.0f}us sd:{p.idle_std_us:,.0f}us"
+                    if core == 1
+                    else "",
+                ]
+            )
+    table = format_table(
+        ["Partitioning", "Core", "Transfer", "Transfer stats", "Idle", "Idle stats"],
+        rows,
+        title="Table 4: InceptionV3 per-core transfer and idle by partitioning scheme",
+    )
+    emit(out_dir, "table4_partitioning.txt", table)
+
+    adaptive = profiles[PartitionPolicy.ADAPTIVE]
+    spatial = profiles[PartitionPolicy.SPATIAL_ONLY]
+    channel = profiles[PartitionPolicy.CHANNEL_ONLY]
+    # the paper's ordering claims:
+    assert adaptive.total_transfer_kb <= spatial.total_transfer_kb
+    assert adaptive.total_transfer_kb <= channel.total_transfer_kb
+    assert adaptive.idle_mean_us <= 1.1 * min(
+        spatial.idle_mean_us, channel.idle_mean_us
+    )

@@ -1,0 +1,81 @@
+"""Table 5: +Halo vs +Stratum vs Combined on the InceptionV3 stem region.
+
+Reported per configuration: end-to-end latency, computation amount
+(stratum trades extra MACs for synchronization), and the mean/std of the
+exposed synchronization overhead.  Paper values: 387us/1.34G/21.2+-9.1,
+386us/1.39G/17.5+-9.2, 378.8us/1.35G/14.2+-7.5 -- near-parity between
+Halo and Stratum with Combined best.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table, region_summary, run_configuration
+from repro.compiler import CompileOptions
+from repro.models import inception_v3_stem
+
+from benchmarks.conftest import emit
+
+CONFIGS = [
+    ("+Halo", CompileOptions.halo()),
+    ("+Stratum", CompileOptions.stratum_only()),
+    ("Combined", CompileOptions.stratum_config()),
+]
+
+_results = {}
+
+
+def _run(npu, label):
+    if label not in _results:
+        opts = dict(CONFIGS)[label]
+        _results[label] = run_configuration(inception_v3_stem(), npu, opts)
+    return _results[label]
+
+
+@pytest.mark.parametrize("label", [label for label, _ in CONFIGS])
+def test_table5_config(benchmark, npu, label):
+    result = benchmark.pedantic(lambda: _run(npu, label), rounds=1, iterations=1)
+    summary = region_summary(result)
+    benchmark.extra_info["latency_us"] = round(summary.latency_us, 1)
+    benchmark.extra_info["compute_gmacs"] = round(summary.compute_gmacs, 3)
+    benchmark.extra_info["sync_mean_us"] = round(summary.sync_mean_us, 2)
+
+
+def test_table5_report(benchmark, npu, out_dir):
+    # uses the benchmark fixture so the report also runs (and is timed)
+    # under --benchmark-only.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    summaries = {}
+    for label, _ in CONFIGS:
+        s = region_summary(_run(npu, label))
+        summaries[label] = s
+        rows.append(
+            [
+                label,
+                f"{s.latency_us:,.1f}us",
+                f"{s.compute_gmacs:.2f}G",
+                f"mu:{s.sync_mean_us:.1f}us sd:{s.sync_std_us:.1f}us",
+            ]
+        )
+    table = format_table(
+        ["Configuration", "End-to-end latency", "Computation", "Sync overhead"],
+        rows,
+        title="Table 5: Halo vs Stratum on the InceptionV3 stem region",
+    )
+    emit(out_dir, "table5_halo_stratum.txt", table)
+
+    # Shape assertions mirroring the paper:
+    halo, strat, comb = (
+        summaries["+Halo"],
+        summaries["+Stratum"],
+        summaries["Combined"],
+    )
+    # stratum trades computation for coordination.
+    assert strat.compute_gmacs > halo.compute_gmacs
+    # combined is the best (or statistically tied for best).
+    assert comb.latency_us <= min(halo.latency_us, strat.latency_us) * 1.05
+    # all three land within a narrow band, as in the paper.
+    lats = [halo.latency_us, strat.latency_us, comb.latency_us]
+    assert max(lats) / min(lats) < 1.25

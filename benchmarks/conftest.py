@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper on the
+simulated Exynos-2100-like machine, prints it, and writes it under
+``benchmarks/out/`` so the numbers can be diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.hw import exynos2100_like
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def npu():
+    return exynos2100_like()
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def emit(out_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a regenerated table and persist it."""
+    print()
+    print(text)
+    (out_dir / name).write_text(text + "\n")

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""The compiler engineer's toolbox: passes, profiling, audit, export.
+
+Walks the workflow a compiler engineer uses on a new model:
+
+1. import a graph with front-end noise (standalone activations, no-op
+   crops, a dead auxiliary head) and clean it with the pass pipeline;
+2. compile and find the hot layers with the per-layer profiler;
+3. close the loop with profile-guided rebalancing;
+4. audit the compiled program's SPM working sets;
+5. export a Chrome trace for interactive inspection.
+"""
+
+from repro.analysis import (
+    audit_spm,
+    peak_spm_per_core,
+    render_layer_report,
+    write_chrome_trace,
+)
+from repro.compiler import CompileOptions, compile_model, profile_guided_rebalance
+from repro.hw import exynos2100_like
+from repro.ir import Activation, Crop, optimize
+from repro.models import GraphBuilder
+from repro.sim import simulate
+
+
+def messy_model():
+    """A detection-ish backbone with front-end noise left in."""
+    b = GraphBuilder("messy")
+    x = b.input(128, 128, 16)
+    y = b.conv(x, 32, kernel=3, stride=2, activation=None, name="c0")
+    b.graph.add("c0_relu", Activation("relu"), ["c0"])
+    y = b.conv("c0_relu", 48, kernel=3, name="c1")
+    b.graph.add("noop_crop", Crop(out_h=64, out_w=64), ["c1"])
+    y = b.conv("noop_crop", 48, kernel=3, name="c2")
+    y = b.conv(y, 64, kernel=3, stride=2, name="c3")
+    head = b.conv(y, 64, kernel=3, name="head")
+    b.conv(y, 32, kernel=1, name="aux_head")  # dead: training-only
+    return b.build(), "head"
+
+
+def main():
+    graph, output = messy_model()
+    print(f"imported graph: {len(graph)} layers")
+    graph, report = optimize(graph, keep=[output])
+    print(
+        f"after passes:   {len(graph)} layers "
+        f"(folded {report.folded_activations} activations, removed "
+        f"{report.removed_crops} no-op crops, {report.removed_dead} dead layers)\n"
+    )
+
+    npu = exynos2100_like()
+    compiled = compile_model(graph, npu, CompileOptions.stratum_config())
+    result = simulate(compiled.program, npu)
+    print(compiled.describe())
+    print()
+    print(render_layer_report(result.trace, npu, n=5))
+
+    compiled, result, rb = profile_guided_rebalance(
+        graph, npu, CompileOptions.stratum_config()
+    )
+    print(
+        f"\nprofile-guided rebalancing: {rb.initial_latency_us:,.1f} -> "
+        f"{rb.final_latency_us:,.1f} us ({rb.improvement:.3f}x, "
+        f"{rb.adjusted_layers} layers adjusted)"
+    )
+
+    usages, violations = audit_spm(compiled)
+    peaks = peak_spm_per_core(compiled)
+    print(
+        f"\nSPM audit: {len(usages)} sub-layers, {len(violations)} violations; "
+        "peaks "
+        + ", ".join(
+            f"core{c}={p / 1024:,.0f}KB" for c, p in sorted(peaks.items())
+        )
+    )
+
+    path = write_chrome_trace(result.trace, npu, "/tmp/messy_trace.json")
+    print(f"chrome trace: {path} (open in chrome://tracing or Perfetto)")
+
+
+if __name__ == "__main__":
+    main()

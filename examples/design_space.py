@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Hardware/software co-design exploration with the simulator.
+
+The machine description is just a dataclass, so architectural what-ifs
+are one `dataclasses.replace` away.  This example asks three questions
+the paper's platform team would ask about the next chip, using
+MobileNetV2 under the full optimization stack:
+
+1. How much SPM do the optimizations actually need?
+2. What does doubling the bus (DRAM) bandwidth buy?
+3. How expensive may synchronization get before strata become mandatory?
+"""
+
+import dataclasses
+
+from repro.analysis import format_table
+from repro.compiler import CompileOptions, compile_model
+from repro.hw import exynos2100_like
+from repro.models import get_model
+from repro.sim import simulate
+
+
+def with_spm(npu, spm_bytes):
+    cores = tuple(dataclasses.replace(c, spm_bytes=spm_bytes) for c in npu.cores)
+    return dataclasses.replace(npu, cores=cores, name=f"spm={spm_bytes >> 10}KB")
+
+
+def with_bus(npu, factor):
+    cores = tuple(
+        dataclasses.replace(c, dma_bytes_per_cycle=c.dma_bytes_per_cycle * factor)
+        for c in npu.cores
+    )
+    return dataclasses.replace(
+        npu,
+        cores=cores,
+        bus_bytes_per_cycle=npu.bus_bytes_per_cycle * factor,
+        name=f"bus x{factor}",
+    )
+
+
+def with_sync(npu, factor):
+    return dataclasses.replace(
+        npu,
+        sync_base_cycles=int(npu.sync_base_cycles * factor),
+        sync_jitter_cycles=int(npu.sync_jitter_cycles * factor),
+        name=f"sync x{factor}",
+    )
+
+
+def run(graph, npu, options):
+    compiled = compile_model(graph, npu, options)
+    result = simulate(compiled.program, npu)
+    return result.latency_us, compiled
+
+
+def sweep(graph, variants, options, title):
+    rows = []
+    for npu in variants:
+        latency, compiled = run(graph, npu, options)
+        rows.append(
+            [
+                npu.name,
+                f"{latency:,.1f}us",
+                len(compiled.strata.strata),
+                compiled.num_forwarded_edges(),
+                compiled.num_barriers,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["Machine", "Latency", "Strata", "Forwarded", "Barriers"],
+            rows,
+            title=title,
+        )
+    )
+
+
+def main():
+    graph = get_model("MobileNetV2")
+    base = exynos2100_like()
+    full = CompileOptions.stratum_config()
+
+    sweep(
+        graph,
+        [with_spm(base, kb << 10) for kb in (128, 512, 2048, 8192)],
+        full,
+        "1) SPM sensitivity (feature-map forwarding and strata need room)",
+    )
+    sweep(
+        graph,
+        [with_bus(base, f) for f in (0.5, 1, 2, 4)],
+        full,
+        "2) Bus bandwidth sensitivity (MobileNetV2 is memory-hungry)",
+    )
+    print()
+    rows = []
+    for factor in (0.25, 1, 4, 16):
+        npu = with_sync(base, factor)
+        lat_base, _ = run(graph, npu, CompileOptions.base())
+        lat_full, compiled = run(graph, npu, full)
+        rows.append(
+            [
+                npu.name,
+                f"{lat_base:,.1f}us",
+                f"{lat_full:,.1f}us",
+                f"{lat_base / lat_full:.2f}x",
+                len(compiled.strata.strata),
+            ]
+        )
+    print(
+        format_table(
+            ["Machine", "Base", "+Stratum stack", "gain", "strata"],
+            rows,
+            title="3) Sync-cost sensitivity (the pricier the sync, the more the "
+            "paper's optimizations matter)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""A tour of layer partitioning: Table 1 and the h1-h5 heuristics.
+
+Prints the partitioning-method catalogue for convolutions and then walks
+a real model (InceptionV3) showing, for a selection of layers, which
+direction the adaptive partitioner picked, why, and how the work was
+balanced across the heterogeneous cores.
+"""
+
+from repro.analysis import format_table
+from repro.hw import exynos2100_like
+from repro.models import get_model
+from repro.partition import (
+    CONV_PARTITIONING_METHODS,
+    PartitionDirection,
+    partition_graph,
+    spatial_halo_rows,
+)
+
+
+def print_table1():
+    rows = [
+        [
+            m.name,
+            ", ".join(m.data_partitioned),
+            ", ".join(m.data_replicated) or "none",
+            "partial-sum reduction" if m.needs_partial_sum_reduction else "none",
+            "yes" if m.preferred else "no",
+        ]
+        for m in CONV_PARTITIONING_METHODS
+    ]
+    print(
+        format_table(
+            ["Method", "Partitioned", "Replicated", "Extra comm./comp.", "Used"],
+            rows,
+            title="Table 1: partitioning methods for convolution",
+        )
+    )
+
+
+def tour_inception():
+    graph = get_model("InceptionV3")
+    npu = exynos2100_like()
+    gp = partition_graph(graph, npu)
+
+    print("\nDirection mix over all layers:")
+    for direction, count in sorted(
+        gp.directions_summary().items(), key=lambda kv: kv[0].value
+    ):
+        print(f"  {direction.value:8s} {count:3d} layers")
+    print("Decisions by heuristic:")
+    for reason, count in sorted(gp.reasons_summary().items()):
+        print(f"  {reason:14s} {count:3d} layers")
+
+    interesting = [
+        "stem_conv1",       # plain conv -> h1 spatial
+        "stem_pool0",       # pooling -> h4 channel
+        "mixed5b_b2_3x3a",  # mid-network conv
+        "mixed6b_b1_7x1",   # factorized 7x1 -> big halo, h5 candidate
+        "mixed7b_b1_1x1",   # 8x8 map -> h3 shallow
+        "logits",           # dense -> channel only
+    ]
+    rows = []
+    for name in interesting:
+        layer = graph.layer(name)
+        part = gp.partition(name)
+        shares = "/".join(
+            str(
+                s.out_region.rows.length
+                if part.direction is PartitionDirection.SPATIAL
+                else s.out_region.chans.length
+            )
+            if not s.is_empty
+            else "0"
+            for s in part.sub_layers
+        )
+        rows.append(
+            [
+                name,
+                str(layer.output_shape),
+                part.direction.value,
+                part.reason,
+                shares,
+                spatial_halo_rows(layer),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["Layer", "Output", "Direction", "Why", "Core shares", "Halo rows"],
+            rows,
+            title="Adaptive decisions on selected InceptionV3 layers",
+        )
+    )
+
+
+if __name__ == "__main__":
+    print_table1()
+    tour_inception()

@@ -1,0 +1,50 @@
+"""repro: multicore mobile NPU compiler, scheduler, and simulator.
+
+A full reproduction of "Accelerating Deep Neural Networks on Mobile
+Multicore NPUs" (CGO 2023): adaptive layer partitioning (h1-h5), layer
+scheduling (Algorithm 1), stratum construction (Algorithm 2, h6-h8),
+tiled software pipelining with the halo-first policy, halo-exchange and
+feature-map forwarding -- all lowered to per-core command streams and
+executed on a discrete-event machine model of an Exynos-2100-like
+triple-core NPU.
+
+Quickstart::
+
+    from repro import compile_model, simulate, CompileOptions
+    from repro.models import get_model
+    from repro.hw import exynos2100_like
+
+    graph = get_model("InceptionV3")
+    npu = exynos2100_like()
+    compiled = compile_model(graph, npu, CompileOptions.stratum_config())
+    result = simulate(compiled.program, npu)
+    print(result.latency_us)
+"""
+
+from repro.compiler import CompileOptions, CompiledModel, compile_model
+from repro.hw import CoreConfig, NPUConfig, exynos2100_like, homogeneous
+from repro.ir import DataType, Graph, TensorShape
+from repro.partition import PartitionDirection, PartitionPolicy
+from repro.sim import RunStats, SimResult, collect_stats, simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompileOptions",
+    "CompiledModel",
+    "CoreConfig",
+    "DataType",
+    "Graph",
+    "NPUConfig",
+    "PartitionDirection",
+    "PartitionPolicy",
+    "RunStats",
+    "SimResult",
+    "TensorShape",
+    "collect_stats",
+    "compile_model",
+    "exynos2100_like",
+    "homogeneous",
+    "simulate",
+    "__version__",
+]

@@ -1,0 +1,68 @@
+"""Result aggregation, comparison sweeps, and report rendering."""
+
+from repro.analysis.critical_path import (
+    CriticalPath,
+    critical_path,
+    render_critical_path,
+)
+from repro.analysis.export import to_chrome_trace, write_chrome_trace
+from repro.analysis.compare import (
+    ConfigResult,
+    paper_configurations,
+    run_configuration,
+    speedups,
+    sweep_configurations,
+)
+from repro.analysis.gantt import exposed_waits, render_gantt
+from repro.analysis.layer_report import (
+    LayerProfile,
+    profile_layers,
+    render_layer_report,
+    top_layers,
+)
+from repro.analysis.memcheck import (
+    SpmUsage,
+    SpmViolation,
+    audit_spm,
+    peak_spm_per_core,
+)
+from repro.analysis.profiles import (
+    PartitioningProfile,
+    RegionSummary,
+    partitioning_profile,
+    region_summary,
+    table4_profiles,
+)
+from repro.analysis.tables import format_kb, format_speedup, format_table, format_us
+
+__all__ = [
+    "ConfigResult",
+    "CriticalPath",
+    "critical_path",
+    "render_critical_path",
+    "PartitioningProfile",
+    "LayerProfile",
+    "RegionSummary",
+    "SpmUsage",
+    "SpmViolation",
+    "audit_spm",
+    "peak_spm_per_core",
+    "exposed_waits",
+    "format_kb",
+    "format_speedup",
+    "format_table",
+    "format_us",
+    "paper_configurations",
+    "partitioning_profile",
+    "region_summary",
+    "render_gantt",
+    "render_layer_report",
+    "profile_layers",
+    "top_layers",
+    "run_configuration",
+    "speedups",
+    "sweep_configurations",
+    "table4_profiles",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

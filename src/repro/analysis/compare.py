@@ -1,0 +1,86 @@
+"""Configuration sweeps: the Figure 11 experiment machinery.
+
+``run_configuration`` compiles + simulates one (model, machine, options)
+triple; ``sweep_configurations`` runs the paper's four cumulative
+configurations and returns everything needed to print Figure 11 and the
+speedup summary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compiler.compiler import CompiledModel, compile_model
+from repro.compiler.options import CompileOptions
+from repro.hw.config import NPUConfig
+from repro.ir.graph import Graph
+from repro.sim.simulator import SimResult, simulate
+from repro.sim.stats import RunStats, collect_stats
+
+
+@dataclasses.dataclass
+class ConfigResult:
+    """One bar of Figure 11."""
+
+    label: str
+    compiled: CompiledModel
+    sim: SimResult
+    stats: RunStats
+
+    @property
+    def latency_us(self) -> float:
+        return self.stats.latency_us
+
+    @property
+    def performance(self) -> float:
+        return self.stats.performance
+
+
+def run_configuration(
+    graph: Graph,
+    npu: NPUConfig,
+    options: CompileOptions,
+    seed: int = 0,
+) -> ConfigResult:
+    """Compile and simulate one configuration."""
+    machine = npu.single_core() if options.label == "1-core" else npu
+    compiled = compile_model(graph, machine, options)
+    sim = simulate(compiled.program, machine, seed=seed)
+    stats = collect_stats(sim.trace, machine)
+    return ConfigResult(
+        label=options.label, compiled=compiled, sim=sim, stats=stats
+    )
+
+
+def paper_configurations() -> List[CompileOptions]:
+    """The four cumulative configurations of Table 3 plus the 1-core run."""
+    return [
+        CompileOptions.single_core(),
+        CompileOptions.base(),
+        CompileOptions.halo(),
+        CompileOptions.stratum_config(),
+    ]
+
+
+def sweep_configurations(
+    graph: Graph,
+    npu: NPUConfig,
+    options_list: Optional[Sequence[CompileOptions]] = None,
+    seed: int = 0,
+) -> Dict[str, ConfigResult]:
+    """Run all configurations on one model; keyed by config label."""
+    options_list = options_list or paper_configurations()
+    results: Dict[str, ConfigResult] = {}
+    for options in options_list:
+        result = run_configuration(graph, npu, options, seed=seed)
+        results[result.label] = result
+    return results
+
+
+def speedups(results: Dict[str, ConfigResult]) -> Dict[str, float]:
+    """Per-configuration speedup relative to the 1-core run."""
+    if "1-core" not in results:
+        raise ValueError("sweep must include the 1-core baseline")
+    base = results["1-core"].latency_us
+    return {label: base / r.latency_us for label, r in results.items()}

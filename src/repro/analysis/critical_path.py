@@ -1,0 +1,154 @@
+"""Critical-path extraction from a simulated trace.
+
+Walks backward from the last-finishing command, at each step following
+the constraint that *bound* the command's start time: a dependency that
+finished exactly then, or the same engine's previous command.  The
+resulting chain is the critical path -- shortening anything off it cannot
+improve the makespan.  Each segment is attributed to compute, DMA, halo,
+or synchronization, giving a one-line answer to "what should I optimize
+next?".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler.program import CommandKind, Engine, Program
+from repro.hw.config import NPUConfig
+from repro.sim.trace import Trace, TraceEvent
+
+_EPS = 1e-6
+
+
+@dataclasses.dataclass(frozen=True)
+class PathSegment:
+    """One command on the critical path."""
+
+    event: TraceEvent
+    #: how this command's start was bound: 'dep', 'engine', or 'ready'
+    bound_by: str
+
+    @property
+    def category(self) -> str:
+        kind = self.event.kind
+        if kind is CommandKind.COMPUTE:
+            return "compute"
+        if kind is CommandKind.BARRIER:
+            return "sync"
+        if kind in (CommandKind.HALO_SEND, CommandKind.HALO_RECV):
+            return "halo"
+        return "dma"
+
+
+@dataclasses.dataclass
+class CriticalPath:
+    """The makespan-determining chain, last command first."""
+
+    segments: List[PathSegment]
+    makespan_cycles: float
+
+    def breakdown(self) -> Dict[str, float]:
+        """Cycles of the makespan attributed to each category.
+
+        Each segment contributes the gap it covers on the path: from the
+        previous segment's start (or its own ready time) to its own start
+        plus its duration -- summing to the makespan.
+        """
+        totals: Dict[str, float] = {}
+        for seg in self.segments:
+            totals[seg.category] = totals.get(seg.category, 0.0) + seg.event.duration
+        # time not covered by path segments (waits inside the chain).
+        covered = sum(totals.values())
+        if self.makespan_cycles > covered + _EPS:
+            totals["wait"] = self.makespan_cycles - covered
+        return totals
+
+    def layers(self) -> List[str]:
+        seen: List[str] = []
+        for seg in self.segments:
+            if seg.event.layer and (not seen or seen[-1] != seg.event.layer):
+                seen.append(seg.event.layer)
+        return seen
+
+
+def critical_path(program: Program, trace: Trace) -> CriticalPath:
+    """Extract the critical path of a simulated run."""
+    if not trace.events:
+        return CriticalPath(segments=[], makespan_cycles=0.0)
+    events = {e.cid: e for e in trace.events}
+    commands = {c.cid: c for c in program.commands}
+
+    # engine predecessor in program order.
+    engine_prev: Dict[int, Optional[int]] = {}
+    last_on: Dict[Tuple[int, Engine], int] = {}
+    for cmd in program.commands:
+        key = (cmd.core, cmd.engine)
+        engine_prev[cmd.cid] = last_on.get(key)
+        last_on[key] = cmd.cid
+
+    current = max(trace.events, key=lambda e: e.end).cid
+    segments: List[PathSegment] = []
+    guard = 0
+    while current is not None and guard <= len(events):
+        guard += 1
+        e = events[current]
+        cmd = commands[current]
+        binding: Optional[int] = None
+        bound_by = "ready"
+        # a dependency that completed exactly at our start binds us.
+        for dep in cmd.deps:
+            if abs(events[dep].end - e.start) <= _EPS:
+                binding = dep
+                bound_by = "dep"
+                break
+        if binding is None:
+            prev = engine_prev[current]
+            if prev is not None and abs(events[prev].end - e.start) <= _EPS:
+                binding = prev
+                bound_by = "engine"
+        if binding is None:
+            # started when its own latency allowed: pick the latest-ending
+            # dependency (if any) to keep walking toward t=0.
+            dep_ends = [(events[d].end, d) for d in cmd.deps]
+            if dep_ends and e.start > _EPS:
+                binding = max(dep_ends)[1]
+                bound_by = "dep"
+        segments.append(PathSegment(event=e, bound_by=bound_by))
+        current = binding
+
+    return CriticalPath(segments=segments, makespan_cycles=trace.makespan)
+
+
+def render_critical_path(
+    program: Program, trace: Trace, npu: NPUConfig, max_rows: int = 14
+) -> str:
+    """Human-readable critical path summary."""
+    from repro.analysis.tables import format_table
+
+    path = critical_path(program, trace)
+    breakdown = path.breakdown()
+    total = sum(breakdown.values()) or 1.0
+    header = "Critical path breakdown: " + ", ".join(
+        f"{k} {npu.cycles_to_us(v):,.1f}us ({v / total:.0%})"
+        for k, v in sorted(breakdown.items(), key=lambda kv: -kv[1])
+    )
+    rows = []
+    for seg in path.segments[:max_rows]:
+        e = seg.event
+        rows.append(
+            [
+                f"{e.layer}{('.' + e.tag) if e.tag else ''}",
+                e.kind.value,
+                f"core{e.core}",
+                f"{npu.cycles_to_us(e.start):,.1f}",
+                f"{npu.cycles_to_us(e.duration):,.1f}us",
+                seg.bound_by,
+            ]
+        )
+    table = format_table(
+        ["Command", "Kind", "Core", "Start (us)", "Duration", "Bound by"],
+        rows,
+        title=f"Last {min(max_rows, len(path.segments))} links of the critical path",
+    )
+    return header + "\n\n" + table

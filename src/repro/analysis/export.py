@@ -1,0 +1,90 @@
+"""Trace export to the Chrome trace-event format.
+
+``write_chrome_trace`` produces a JSON file loadable in
+``chrome://tracing`` / Perfetto: one process per core, one track per
+engine, one complete event per command, colored by command kind.
+Timestamps are microseconds of simulated time.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Union
+
+from repro.compiler.program import CommandKind, Engine
+from repro.hw.config import NPUConfig
+from repro.sim.trace import Trace
+
+_TRACK_OF_ENGINE = {
+    Engine.LOAD: 0,
+    Engine.COMPUTE: 1,
+    Engine.STORE: 2,
+    Engine.CTRL: 3,
+}
+
+#: chrome://tracing colour names per command kind.
+_COLOR = {
+    CommandKind.LOAD_INPUT: "thread_state_runnable",
+    CommandKind.LOAD_WEIGHT: "thread_state_running",
+    CommandKind.COMPUTE: "good",
+    CommandKind.STORE_OUTPUT: "bad",
+    CommandKind.HALO_SEND: "terrible",
+    CommandKind.HALO_RECV: "terrible",
+    CommandKind.BARRIER: "grey",
+}
+
+
+def to_chrome_trace(trace: Trace, npu: NPUConfig) -> Dict:
+    """Build the trace-event JSON object for ``trace``."""
+    events: List[Dict] = []
+    for core in range(npu.num_cores):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": core,
+                "args": {"name": f"{npu.core(core).name} (core {core})"},
+            }
+        )
+        for engine, tid in _TRACK_OF_ENGINE.items():
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": core,
+                    "tid": tid,
+                    "args": {"name": engine.value},
+                }
+            )
+    for e in trace.events:
+        if e.end <= e.start:
+            continue
+        events.append(
+            {
+                "name": f"{e.layer}{('.' + e.tag) if e.tag else ''}",
+                "cat": e.kind.value,
+                "ph": "X",
+                "pid": e.core,
+                "tid": _TRACK_OF_ENGINE[e.engine],
+                "ts": npu.cycles_to_us(e.start),
+                "dur": npu.cycles_to_us(e.end - e.start),
+                "cname": _COLOR.get(e.kind, "generic_work"),
+                "args": {
+                    "kind": e.kind.value,
+                    "bytes": e.num_bytes,
+                    "macs": e.macs,
+                    "remote_wait_cycles": round(e.remote_wait, 1),
+                },
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+
+def write_chrome_trace(
+    trace: Trace, npu: NPUConfig, path: Union[str, pathlib.Path]
+) -> pathlib.Path:
+    """Serialize the trace to ``path``; returns the path written."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(to_chrome_trace(trace, npu)))
+    return path

@@ -1,0 +1,86 @@
+"""Textual Gantt rendering of execution traces (the Figure 12 view).
+
+Renders one row per (core, engine), time flowing left to right, with a
+character per time bucket indicating what the engine was doing.  This is
+how the repository visualizes the halo-first pipelining profiles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.compiler.program import CommandKind, Engine
+from repro.sim.trace import Trace, TraceEvent
+
+#: glyph per command kind.
+_GLYPH = {
+    CommandKind.LOAD_INPUT: "L",
+    CommandKind.LOAD_WEIGHT: "w",
+    CommandKind.COMPUTE: "#",
+    CommandKind.STORE_OUTPUT: "S",
+    CommandKind.HALO_SEND: "h",
+    CommandKind.HALO_RECV: "H",
+    CommandKind.BARRIER: "|",
+}
+
+_ROW_ORDER = (Engine.LOAD, Engine.COMPUTE, Engine.STORE, Engine.CTRL)
+
+
+def render_gantt(
+    trace: Trace,
+    num_cores: int,
+    width: int = 100,
+    layers: Optional[Iterable[str]] = None,
+    t0: Optional[float] = None,
+    t1: Optional[float] = None,
+) -> str:
+    """Render the trace as an ASCII Gantt chart.
+
+    ``layers`` restricts the view to specific layers (the window is then
+    clamped to their span, like Figure 12's two-layer excerpt).
+    """
+    events = trace.events if layers is None else trace.for_layers(layers)
+    if not events:
+        return "(empty trace)"
+    lo = min(e.start for e in events) if t0 is None else t0
+    hi = max(e.end for e in events) if t1 is None else t1
+    if hi <= lo:
+        hi = lo + 1.0
+    scale = width / (hi - lo)
+
+    lines: List[str] = [
+        f"time [{lo:,.0f} .. {hi:,.0f}] cycles, '{_legend()}'"
+    ]
+    for core in range(num_cores):
+        for engine in _ROW_ORDER:
+            row_events = [
+                e for e in events if e.core == core and e.engine is engine
+            ]
+            if not row_events and engine is Engine.CTRL:
+                continue
+            buf = [" "] * width
+            for e in row_events:
+                a = max(0, int((e.start - lo) * scale))
+                b = min(width, max(a + 1, int((e.end - lo) * scale)))
+                glyph = _GLYPH.get(e.kind, "?")
+                for i in range(a, b):
+                    buf[i] = glyph
+            lines.append(f"core{core} {engine.value:7s} [{''.join(buf)}]")
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def _legend() -> str:
+    return "L=load w=kernel #=compute S=store h=halo-send H=halo-recv |=sync"
+
+
+def exposed_waits(
+    trace: Trace, layers: Optional[Iterable[str]] = None
+) -> Dict[CommandKind, float]:
+    """Total remote-wait cycles by command kind (Figure 12's idle arrows)."""
+    events = trace.events if layers is None else trace.for_layers(layers)
+    waits: Dict[CommandKind, float] = {}
+    for e in events:
+        if e.remote_wait > 0:
+            waits[e.kind] = waits.get(e.kind, 0.0) + e.remote_wait
+    return waits

@@ -1,0 +1,91 @@
+"""Table 4-style per-core profiles and Table 5-style region summaries."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+from repro.analysis.compare import ConfigResult, run_configuration
+from repro.compiler.options import CompileOptions
+from repro.hw.config import NPUConfig
+from repro.ir.graph import Graph
+from repro.partition.direction import PartitionPolicy
+
+
+@dataclasses.dataclass
+class PartitioningProfile:
+    """One block of Table 4: per-core transfer and idle for one policy."""
+
+    policy: PartitionPolicy
+    transfer_kb_per_core: List[float]
+    idle_us_per_core: List[float]
+    transfer_mean_kb: float
+    transfer_std_kb: float
+    idle_mean_us: float
+    idle_std_us: float
+    latency_us: float
+
+    @property
+    def total_transfer_kb(self) -> float:
+        return sum(self.transfer_kb_per_core)
+
+
+def partitioning_profile(
+    graph: Graph,
+    npu: NPUConfig,
+    policy: PartitionPolicy,
+    seed: int = 0,
+) -> PartitioningProfile:
+    """Profile one partitioning scheme under the Base optimization level."""
+    result = run_configuration(
+        graph, npu, CompileOptions.base(policy=policy), seed=seed
+    )
+    st = result.stats
+    return PartitioningProfile(
+        policy=policy,
+        transfer_kb_per_core=[c.transfer_kb for c in st.cores],
+        idle_us_per_core=[
+            st._cycles_to_us(c.idle_cycles) for c in st.cores
+        ],
+        transfer_mean_kb=st.transfer_mean_kb,
+        transfer_std_kb=st.transfer_std_kb,
+        idle_mean_us=st.idle_mean_us,
+        idle_std_us=st.idle_std_us,
+        latency_us=st.latency_us,
+    )
+
+
+def table4_profiles(
+    graph: Graph, npu: NPUConfig, seed: int = 0
+) -> Dict[PartitionPolicy, PartitioningProfile]:
+    """The three partitioning schemes Table 4 compares."""
+    return {
+        policy: partitioning_profile(graph, npu, policy, seed=seed)
+        for policy in (
+            PartitionPolicy.SPATIAL_ONLY,
+            PartitionPolicy.CHANNEL_ONLY,
+            PartitionPolicy.ADAPTIVE,
+        )
+    }
+
+
+@dataclasses.dataclass
+class RegionSummary:
+    """One row of Table 5: a configuration on a network region."""
+
+    label: str
+    latency_us: float
+    compute_gmacs: float
+    sync_mean_us: float
+    sync_std_us: float
+
+
+def region_summary(result: ConfigResult) -> RegionSummary:
+    st = result.stats
+    return RegionSummary(
+        label=result.label,
+        latency_us=st.latency_us,
+        compute_gmacs=st.total_macs / 1e9,
+        sync_mean_us=st.sync_overhead_mean_us,
+        sync_std_us=st.sync_overhead_std_us,
+    )

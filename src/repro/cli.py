@@ -1,0 +1,372 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+* ``models``    -- list the benchmark zoo (Table 2)
+* ``describe``  -- graph statistics of one model
+* ``compile``   -- compile and summarize the compiler's decisions
+* ``run``       -- compile + simulate; latency, traffic, energy, exports
+* ``sweep``     -- the four paper configurations side by side (Fig. 11 row)
+* ``table4`` / ``table5`` -- regenerate those paper tables
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import (
+    format_table,
+    render_layer_report,
+    region_summary,
+    render_gantt,
+    run_configuration,
+    speedups,
+    sweep_configurations,
+    table4_profiles,
+)
+from repro.analysis.export import write_chrome_trace
+from repro.compiler import (
+    CompileOptions,
+    compile_model,
+    profile_guided_rebalance,
+)
+from repro.hw import exynos2100_like, homogeneous
+from repro.models import ZOO, get_model, inception_v3_stem, model_names
+from repro.partition import PartitionPolicy
+from repro.sim import collect_stats, estimate_energy, simulate
+
+CONFIGS = {
+    "1core": CompileOptions.single_core,
+    "base": CompileOptions.base,
+    "halo": CompileOptions.halo,
+    "stratum": CompileOptions.stratum_config,
+    "stratum-only": CompileOptions.stratum_only,
+}
+
+
+def _machine(spec: str):
+    if spec == "exynos2100":
+        return exynos2100_like()
+    if spec.startswith("hom"):
+        try:
+            return homogeneous(int(spec[3:]))
+        except ValueError:
+            pass
+    if spec.endswith(".json"):
+        import pathlib
+
+        from repro.hw import load_machine
+
+        if not pathlib.Path(spec).exists():
+            raise SystemExit(f"machine file {spec!r} not found")
+        return load_machine(spec)
+    raise SystemExit(
+        f"unknown machine {spec!r}; use 'exynos2100', 'homN' (e.g. hom4), "
+        f"or a machine JSON file"
+    )
+
+
+def _graph(name: str):
+    if name == "stem":
+        return inception_v3_stem()
+    try:
+        return get_model(name)
+    except KeyError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def cmd_models(args: argparse.Namespace) -> int:
+    rows = []
+    for info in ZOO:
+        graph = info.factory()
+        rows.append(
+            [
+                info.name,
+                info.category,
+                "x".join(str(d) for d in info.input_size),
+                info.dtype.value,
+                len(graph),
+                f"{graph.total_macs() / 1e9:.2f}G",
+                f"{graph.total_weight_bytes() / 1e6:.1f}MB",
+            ]
+        )
+    print(
+        format_table(
+            ["Model", "Category", "Input", "Type", "Layers", "MACs", "Weights"],
+            rows,
+            title="Benchmark zoo (paper Table 2)",
+        )
+    )
+    return 0
+
+
+def cmd_describe(args: argparse.Namespace) -> int:
+    graph = _graph(args.model)
+    print(f"{graph}")
+    print(f"  MACs:        {graph.total_macs():,}")
+    print(f"  weights:     {graph.total_weight_bytes():,} bytes")
+    print(f"  activations: {graph.total_activation_bytes():,} bytes")
+    print(f"  inputs:      {[str(l) for l in graph.inputs()]}")
+    print(f"  outputs:     {[str(l) for l in graph.outputs()]}")
+    if args.layers:
+        for layer in graph.layers():
+            print(f"  {layer.name:28s} {layer.op.type_name:18s} {layer.output_shape}")
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    graph = _graph(args.model)
+    npu = _machine(args.machine)
+    options = CONFIGS[args.config]()
+    if options.label == "1-core":
+        npu = npu.single_core()
+    compiled = compile_model(graph, npu, options)
+    print(compiled.describe())
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    graph = _graph(args.model)
+    npu = _machine(args.machine)
+    options = CONFIGS[args.config]()
+    if options.label == "1-core":
+        npu = npu.single_core()
+    if args.rebalance:
+        compiled, result, report = profile_guided_rebalance(
+            graph, npu, options, seed=args.seed
+        )
+        print(
+            f"rebalanced {report.adjusted_layers} layers in "
+            f"{report.iterations_run} iterations: "
+            f"{report.initial_latency_us:,.1f} -> "
+            f"{report.final_latency_us:,.1f} us"
+        )
+    else:
+        compiled = compile_model(graph, npu, options)
+        result = simulate(compiled.program, npu, seed=args.seed)
+    stats = collect_stats(result.trace, npu)
+    print(f"latency:   {stats.latency_us:,.1f} us ({stats.makespan_cycles:,.0f} cycles)")
+    print(f"traffic:   {stats.total_transfer_bytes / 1e6:,.2f} MB")
+    print(f"barriers:  {stats.num_barriers}, halo exchanges: {stats.num_halo_exchanges}")
+    print(
+        f"sync:      mu {stats.sync_overhead_mean_us:.1f} us, "
+        f"sd {stats.sync_overhead_std_us:.1f} us"
+    )
+    if args.energy:
+        e = estimate_energy(result.trace, npu)
+        parts = ", ".join(f"{k} {v:.1f}" for k, v in e.breakdown().items())
+        print(f"energy:    {e.total_uj:,.1f} uJ ({parts}); avg {e.average_power_mw:,.0f} mW")
+    if args.gantt:
+        print(render_gantt(result.trace, npu.num_cores, width=args.gantt))
+    if args.top_layers:
+        print(render_layer_report(result.trace, npu, n=args.top_layers))
+    if args.critical_path:
+        from repro.analysis import render_critical_path
+
+        print(render_critical_path(compiled.program, result.trace, npu))
+    if args.chrome_trace:
+        path = write_chrome_trace(result.trace, npu, args.chrome_trace)
+        print(f"chrome trace written to {path}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    graph = _graph(args.model)
+    npu = _machine(args.machine)
+    sweep = sweep_configurations(graph, npu, seed=args.seed)
+    s = speedups(sweep)
+    rows = [
+        [
+            label,
+            f"{r.latency_us:,.1f}us",
+            f"{s[label]:.2f}x",
+            r.stats.num_barriers,
+            r.stats.num_halo_exchanges,
+            len(r.compiled.strata.strata),
+        ]
+        for label, r in sweep.items()
+    ]
+    print(
+        format_table(
+            ["Config", "Latency", "Speedup", "Barriers", "Halo", "Strata"],
+            rows,
+            title=f"{args.model} on {npu.name}",
+        )
+    )
+    return 0
+
+
+def cmd_table4(args: argparse.Namespace) -> int:
+    npu = _machine(args.machine)
+    profiles = table4_profiles(_graph(args.model), npu)
+    rows = [
+        [
+            p.policy.value,
+            f"{p.total_transfer_kb:,.0f}KB",
+            f"{p.idle_mean_us:,.0f}us",
+            f"{p.idle_std_us:,.0f}us",
+            f"{p.latency_us:,.0f}us",
+        ]
+        for p in (
+            profiles[PartitionPolicy.SPATIAL_ONLY],
+            profiles[PartitionPolicy.CHANNEL_ONLY],
+            profiles[PartitionPolicy.ADAPTIVE],
+        )
+    ]
+    print(
+        format_table(
+            ["Scheme", "Total transfer", "Idle mu", "Idle sd", "Latency"],
+            rows,
+            title=f"Table 4 profile: {args.model}",
+        )
+    )
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    from repro.analysis import audit_spm, peak_spm_per_core
+
+    graph = _graph(args.model)
+    npu = _machine(args.machine)
+    options = CONFIGS[args.config]()
+    if options.label == "1-core":
+        npu = npu.single_core()
+    compiled = compile_model(graph, npu, options)
+    usages, violations = audit_spm(compiled, tolerance=args.tolerance)
+    peaks = peak_spm_per_core(compiled)
+    rows = [
+        [
+            f"core {core}",
+            f"{peak / 1024:,.0f}KB",
+            f"{npu.core(core).spm_bytes / 1024:,.0f}KB",
+            f"{peak / npu.core(core).spm_bytes:.0%}",
+        ]
+        for core, peak in sorted(peaks.items())
+    ]
+    print(
+        format_table(
+            ["Core", "Peak working set", "SPM", "Utilization"],
+            rows,
+            title=f"SPM audit: {args.model} under {options.label} "
+            f"({len(usages)} sub-layers)",
+        )
+    )
+    if violations:
+        print(f"\n{len(violations)} violation(s):")
+        for v in violations[:10]:
+            print(f"  {v}")
+        return 1
+    print("\nno violations")
+    return 0
+
+
+def cmd_table5(args: argparse.Namespace) -> int:
+    npu = _machine(args.machine)
+    stem = inception_v3_stem()
+    rows = []
+    for label, opts in (
+        ("+Halo", CompileOptions.halo()),
+        ("+Stratum", CompileOptions.stratum_only()),
+        ("Combined", CompileOptions.stratum_config()),
+    ):
+        s = region_summary(run_configuration(stem, npu, opts, seed=args.seed))
+        rows.append(
+            [
+                label,
+                f"{s.latency_us:,.1f}us",
+                f"{s.compute_gmacs:.3f}G",
+                f"mu:{s.sync_mean_us:.1f} sd:{s.sync_std_us:.1f} us",
+            ]
+        )
+    print(
+        format_table(
+            ["Configuration", "Latency", "Computation", "Sync overhead"],
+            rows,
+            title="Table 5: InceptionV3 stem",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multicore mobile NPU compiler & simulator (CGO 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the benchmark zoo").set_defaults(
+        func=cmd_models
+    )
+
+    p = sub.add_parser("describe", help="graph statistics of one model")
+    p.add_argument("model", help=f"one of {model_names()} or 'stem'")
+    p.add_argument("--layers", action="store_true", help="print every layer")
+    p.set_defaults(func=cmd_describe)
+
+    def common(p: argparse.ArgumentParser, config: bool = True) -> None:
+        p.add_argument("model", help=f"one of {model_names()} or 'stem'")
+        p.add_argument("--machine", default="exynos2100")
+        p.add_argument("--seed", type=int, default=0)
+        if config:
+            p.add_argument(
+                "--config", choices=sorted(CONFIGS), default="stratum"
+            )
+
+    p = sub.add_parser("compile", help="compile and print compiler decisions")
+    common(p)
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("run", help="compile + simulate one configuration")
+    common(p)
+    p.add_argument("--energy", action="store_true", help="print energy estimate")
+    p.add_argument(
+        "--gantt", type=int, nargs="?", const=100, default=0,
+        metavar="WIDTH", help="print an ASCII Gantt chart",
+    )
+    p.add_argument("--chrome-trace", metavar="PATH", help="export chrome://tracing JSON")
+    p.add_argument(
+        "--top-layers", type=int, nargs="?", const=10, default=0,
+        metavar="N", help="print the N hottest layers",
+    )
+    p.add_argument(
+        "--critical-path", action="store_true",
+        help="print the makespan-determining command chain",
+    )
+    p.add_argument(
+        "--rebalance", action="store_true",
+        help="apply profile-guided rebalancing before reporting",
+    )
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("sweep", help="all four paper configurations")
+    common(p, config=False)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("audit", help="verify compiled SPM working sets")
+    common(p)
+    p.add_argument("--tolerance", type=float, default=1.0)
+    p.set_defaults(func=cmd_audit)
+
+    p = sub.add_parser("table4", help="partitioning-scheme profile")
+    common(p, config=False)
+    p.set_defaults(func=cmd_table4)
+
+    p = sub.add_parser("table5", help="Halo vs Stratum on the stem")
+    p.add_argument("--machine", default="exynos2100")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_table5)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

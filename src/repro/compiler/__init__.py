@@ -1,0 +1,56 @@
+"""The NPU compiler: options, forwarding planning, lowering, driver."""
+
+from repro.compiler.allocator import (
+    ForwardingPlan,
+    InputDecision,
+    InputMode,
+    plan_forwarding,
+)
+from repro.compiler.compiler import CompiledModel, compile_model
+from repro.compiler.feedback import (
+    LayerImbalance,
+    RebalanceReport,
+    measure_layer_imbalances,
+    profile_guided_rebalance,
+)
+from repro.compiler.lowering import exec_regions_for, lower
+from repro.compiler.options import CompileOptions, ScheduleStrategy
+from repro.compiler.serialize import (
+    load_program,
+    program_from_dict,
+    program_to_dict,
+    save_program,
+)
+from repro.compiler.program import (
+    Command,
+    CommandKind,
+    Engine,
+    Program,
+    ProgramBuilder,
+)
+
+__all__ = [
+    "Command",
+    "CommandKind",
+    "CompileOptions",
+    "CompiledModel",
+    "LayerImbalance",
+    "RebalanceReport",
+    "Engine",
+    "ForwardingPlan",
+    "InputDecision",
+    "InputMode",
+    "Program",
+    "ProgramBuilder",
+    "ScheduleStrategy",
+    "compile_model",
+    "load_program",
+    "program_from_dict",
+    "program_to_dict",
+    "save_program",
+    "measure_layer_imbalances",
+    "profile_guided_rebalance",
+    "exec_regions_for",
+    "lower",
+    "plan_forwarding",
+]

@@ -1,0 +1,440 @@
+"""Feature-map forwarding decisions and SPM budget accounting.
+
+Forwarding (Section 3, *data reusability*) keeps a producer's output
+resident in each core's SPM so the immediately following consumer reads
+it in place instead of storing to and reloading from global memory.  The
+remote part of the consumer's input window -- the halo -- is then either
+exchanged core-to-core (``FORWARD_HALO``, Section 3.2) or, when the
+partitions line up exactly, nothing needs to move at all (``FORWARD``).
+
+Every decision is gated on SPM capacity: the producer must be able to
+keep its whole output slice resident while still double-buffering its own
+streams, and the consumer must fit its weights, the resident input, any
+halo buffer, and its output buffers alongside.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cost.memory import (
+    aligned_region_bytes,
+    aligned_weight_bytes,
+)
+from repro.hw.config import NPUConfig
+from repro.ir.graph import Graph, Layer
+from repro.ir.tensor import Region
+from repro.compiler.options import CompileOptions
+from repro.partition.direction import PartitionDirection
+from repro.partition.partitioner import GraphPartition
+from repro.partition.slicer import halo_regions
+from repro.schedule.stratum import StratumPlan
+
+#: Assumed pipeline depth when sizing double buffers during feasibility
+#: checks; must not exceed what plan_tiles can realize, so streams are
+#: conservatively sized at 2/CAP of the tensor per buffer pair.
+FEASIBILITY_TILE_CAP = 4
+
+#: Halo-exchange carries *borderline* data (Section 3, item 4).  When a
+#: consumer would need more than this fraction of its input from remote
+#: cores -- misaligned partitions, not halos -- the store-sync-load path
+#: is the right mechanism and the exchange is not used.
+HALO_FRACTION_LIMIT = 0.25
+
+
+class InputMode(enum.Enum):
+    """How a consumer obtains one of its inputs."""
+
+    #: Stream the needed window from global memory, after a barrier when
+    #: any of it was produced by another core.
+    GLOBAL = "global"
+    #: Local part streamed from global memory (synchronized only with the
+    #: same core's store), remote part via halo-exchange -- no barrier.
+    GLOBAL_HALO = "global-halo"
+    #: Entirely resident in the local SPM (forwarded, no remote part).
+    FORWARD = "forward"
+    #: Local part resident, remote part via halo-exchange.
+    FORWARD_HALO = "forward-halo"
+
+    @property
+    def is_forwarding(self) -> bool:
+        """The consumer reads the producer's slice in place in the SPM."""
+        return self in (InputMode.FORWARD, InputMode.FORWARD_HALO)
+
+    @property
+    def uses_halo(self) -> bool:
+        return self in (InputMode.FORWARD_HALO, InputMode.GLOBAL_HALO)
+
+    @property
+    def needs_barrier(self) -> bool:
+        """Only the plain global mode relies on a full barrier."""
+        return self is InputMode.GLOBAL
+
+
+@dataclasses.dataclass(frozen=True)
+class InputDecision:
+    """Resolution of one (consumer, input_index) edge."""
+
+    producer: str
+    consumer: str
+    input_index: int
+    mode: InputMode
+    #: ``pieces[i][j]``: part of the producer's output that consumer core
+    #: ``i`` needs and producer core ``j`` owns (empty Regions elsewhere).
+    pieces: Tuple[Tuple[Region, ...], ...] = ()
+
+    def recv_bytes(self, core: int, esize: int) -> int:
+        """Bytes core ``core`` receives from remote cores."""
+        if not self.pieces:
+            return 0
+        return sum(
+            r.num_elements * esize
+            for j, r in enumerate(self.pieces[core])
+            if j != core
+        ) if core < len(self.pieces) else 0
+
+    def send_bytes(self, core: int, esize: int) -> int:
+        """Bytes producer core ``core`` sends to remote cores."""
+        if not self.pieces:
+            return 0
+        total = 0
+        for i, row in enumerate(self.pieces):
+            if i == core:
+                continue
+            total += row[core].num_elements * esize
+        return total
+
+    def send_region_rows(self, core: int) -> List[Region]:
+        """Regions of the producer's output core ``core`` must send."""
+        if not self.pieces:
+            return []
+        return [
+            row[core]
+            for i, row in enumerate(self.pieces)
+            if i != core and not row[core].is_empty
+        ]
+
+
+@dataclasses.dataclass
+class ForwardingPlan:
+    """All forwarding decisions for a compiled schedule."""
+
+    #: keyed by (consumer layer name, input index).
+    decisions: Dict[Tuple[str, int], InputDecision]
+    #: layers whose output stays resident in SPM after execution.
+    resident_outputs: Set[str]
+    #: layers that write their output to global memory.
+    stores: Dict[str, bool]
+
+    def input_mode(self, consumer: str, input_index: int) -> InputMode:
+        decision = self.decisions.get((consumer, input_index))
+        return decision.mode if decision else InputMode.GLOBAL
+
+    def decision(self, consumer: str, input_index: int) -> Optional[InputDecision]:
+        return self.decisions.get((consumer, input_index))
+
+
+def _pieces_table(
+    consumer: Layer,
+    input_index: int,
+    consumer_regions: Sequence[Region],
+    producer_regions: Sequence[Region],
+) -> Tuple[Tuple[Region, ...], ...]:
+    table = halo_regions(consumer, input_index, consumer_regions, producer_regions)
+    return tuple(tuple(row) for row in table)
+
+
+def _remote_empty(pieces: Sequence[Sequence[Region]]) -> bool:
+    for i, row in enumerate(pieces):
+        for j, region in enumerate(row):
+            if i != j and not region.is_empty:
+                return False
+    return True
+
+
+def _remote_is_borderline(pieces: Sequence[Sequence[Region]]) -> bool:
+    """True when every core's remote need is a small boundary fraction."""
+    for i, row in enumerate(pieces):
+        local = row[i].num_elements
+        remote = sum(r.num_elements for j, r in enumerate(row) if j != i)
+        total = local + remote
+        if total and remote > HALO_FRACTION_LIMIT * total:
+            return False
+    return True
+
+
+def _covered_by_local_and_peers(
+    consumer: Layer,
+    input_index: int,
+    consumer_regions: Sequence[Region],
+    pieces: Sequence[Sequence[Region]],
+) -> bool:
+    """Every needed element must be owned by *some* producer core."""
+    for i, out_region in enumerate(consumer_regions):
+        if out_region.is_empty:
+            continue
+        needed = consumer.input_region(out_region, input_index)
+        owned = sum(r.num_elements for r in pieces[i])
+        if owned != needed.num_elements:
+            return False
+    return True
+
+
+def _layer_core_usage(
+    layer: Layer,
+    core_index: int,
+    exec_region: Region,
+    input_modes: Sequence[InputMode],
+    input_resident_bytes: Sequence[int],
+    output_resident: bool,
+    halo_bytes: int,
+    npu: NPUConfig,
+) -> int:
+    """Approximate SPM bytes ``layer`` needs on ``core_index``."""
+    core = npu.core(core_index)
+    if exec_region.is_empty:
+        return 0
+    weights = layer.op.weight_elements_for_output(exec_region, layer.output_shape)
+    usage = aligned_weight_bytes(weights, layer.dtype, core)
+    usage += halo_bytes
+    for i, mode in enumerate(input_modes):
+        if mode.is_forwarding:
+            usage += input_resident_bytes[i]
+        else:
+            in_bytes = aligned_region_bytes(
+                layer.input_region(exec_region, i), layer.dtype, core
+            )
+            usage += 2 * in_bytes // FEASIBILITY_TILE_CAP
+    out_bytes = aligned_region_bytes(exec_region, layer.dtype, core)
+    if output_resident:
+        usage += out_bytes
+    else:
+        usage += 2 * out_bytes // FEASIBILITY_TILE_CAP
+    return usage
+
+
+def plan_forwarding(
+    graph: Graph,
+    npu: NPUConfig,
+    options: CompileOptions,
+    partition: GraphPartition,
+    schedule: Sequence[str],
+    strata: StratumPlan,
+    exec_regions: Dict[str, Tuple[Region, ...]],
+) -> ForwardingPlan:
+    """Decide, per consumed edge, how the data travels.
+
+    Processes layers in schedule order so a consumer's own input modes
+    are already fixed when it is evaluated as a producer.
+    """
+    decisions: Dict[Tuple[str, int], InputDecision] = {}
+    resident: Set[str] = set()
+    input_modes_of: Dict[str, List[InputMode]] = {}
+    position = {name: k for k, name in enumerate(schedule)}
+
+    for k, name in enumerate(schedule):
+        consumer = graph.layer(name)
+        modes: List[InputMode] = []
+        for i, producer_name in enumerate(consumer.inputs):
+            decision = _decide_edge(
+                graph,
+                npu,
+                options,
+                partition,
+                strata,
+                exec_regions,
+                consumer,
+                i,
+                producer_name,
+                position,
+                input_modes_of,
+            )
+            modes.append(decision.mode)
+            decisions[(name, i)] = decision
+            if decision.mode.is_forwarding:
+                resident.add(producer_name)
+        input_modes_of[name] = modes
+
+    stores: Dict[str, bool] = {}
+    for layer in graph.layers():
+        if layer.is_input:
+            stores[layer.name] = False
+            continue
+        consumers = graph.consumers(layer.name)
+        if not consumers:
+            stores[layer.name] = True  # network output
+            continue
+        all_forwarded = True
+        for cons in consumers:
+            cons_layer = graph.layer(cons)
+            for i, src in enumerate(cons_layer.inputs):
+                if src == layer.name:
+                    if not decisions[(cons, i)].mode.is_forwarding:
+                        all_forwarded = False
+        stores[layer.name] = not all_forwarded
+    return ForwardingPlan(decisions=decisions, resident_outputs=resident, stores=stores)
+
+
+def _decide_edge(
+    graph: Graph,
+    npu: NPUConfig,
+    options: CompileOptions,
+    partition: GraphPartition,
+    strata: StratumPlan,
+    exec_regions: Dict[str, Tuple[Region, ...]],
+    consumer: Layer,
+    input_index: int,
+    producer_name: str,
+    position: Dict[str, int],
+    input_modes_of: Dict[str, List[InputMode]],
+) -> InputDecision:
+    producer = graph.layer(producer_name)
+    name = consumer.name
+    global_decision = InputDecision(producer_name, name, input_index, InputMode.GLOBAL)
+
+    if producer.is_input:
+        return global_decision
+
+    # Stratum-internal edge: always forwarded, by construction.
+    stratum = strata.stratum_of(name)
+    if (
+        stratum is not None
+        and strata.is_interior(producer_name)
+        and strata.stratum_of(producer_name) is stratum
+    ):
+        pieces = _pieces_table(
+            consumer, input_index, exec_regions[name], exec_regions[producer_name]
+        )
+        return InputDecision(
+            producer_name, name, input_index, InputMode.FORWARD, pieces
+        )
+
+    cons_regions = exec_regions[name]
+    prod_regions = exec_regions[producer_name]
+    if any(r.is_empty for r in cons_regions) or any(r.is_empty for r in prod_regions):
+        return global_decision
+
+    pieces = _pieces_table(consumer, input_index, cons_regions, prod_regions)
+    if not _covered_by_local_and_peers(consumer, input_index, cons_regions, pieces):
+        return global_decision
+
+    spatial_pair = (
+        partition.direction(name) is PartitionDirection.SPATIAL
+        and partition.direction(producer_name) is PartitionDirection.SPATIAL
+    )
+    borderline = _remote_is_borderline(pieces)
+
+    # Feature-map forwarding: only the immediately preceding layer's
+    # output is still resident, and both sides must fit the SPM.
+    adjacent = position[producer_name] == position[name] - 1
+    if options.feature_map_forwarding and adjacent:
+        if _remote_empty(pieces):
+            mode = InputMode.FORWARD
+        elif options.halo_exchange and spatial_pair and borderline:
+            mode = InputMode.FORWARD_HALO
+        else:
+            mode = None
+        if mode is not None and _forwarding_feasible(
+            graph,
+            npu,
+            producer,
+            consumer,
+            input_index,
+            prod_regions,
+            cons_regions,
+            pieces,
+            mode,
+            input_modes_of,
+        ):
+            return InputDecision(producer_name, name, input_index, mode, pieces)
+
+    # Halo-exchange without residency: the consumer streams its local
+    # slice from global memory (ordered only against its own core's
+    # store) and receives the borderline data core-to-core -- the
+    # store-sync-load path of Figure 9a collapses to halo-exch + loads
+    # with no barrier, regardless of SPM capacity or schedule adjacency.
+    if (
+        options.halo_exchange
+        and spatial_pair
+        and borderline
+        and not _remote_empty(pieces)
+    ):
+        return InputDecision(
+            producer_name, name, input_index, InputMode.GLOBAL_HALO, pieces
+        )
+
+    return global_decision
+
+
+def _forwarding_feasible(
+    graph: Graph,
+    npu: NPUConfig,
+    producer: Layer,
+    consumer: Layer,
+    input_index: int,
+    prod_regions: Sequence[Region],
+    cons_regions: Sequence[Region],
+    pieces: Sequence[Sequence[Region]],
+    mode: InputMode,
+    input_modes_of: Dict[str, List[InputMode]],
+) -> bool:
+    """SPM capacity check on both sides of a forwarding edge."""
+    esize = producer.dtype.size_bytes
+    prod_input_modes = input_modes_of.get(
+        producer.name, [InputMode.GLOBAL] * len(producer.inputs)
+    )
+    for core_index in range(npu.num_cores):
+        core = npu.core(core_index)
+        prod_region = prod_regions[core_index]
+        cons_region = cons_regions[core_index]
+
+        prod_resident_in = [
+            aligned_region_bytes(
+                producer.input_region(prod_region, i), producer.dtype, core
+            )
+            for i in range(len(producer.inputs))
+        ]
+        prod_usage = _layer_core_usage(
+            producer,
+            core_index,
+            prod_region,
+            prod_input_modes,
+            prod_resident_in,
+            output_resident=True,
+            halo_bytes=0,
+            npu=npu,
+        )
+        if prod_usage > core.spm_bytes:
+            return False
+
+        resident_in_bytes = aligned_region_bytes(prod_region, producer.dtype, core)
+        halo_bytes = 0
+        if mode is InputMode.FORWARD_HALO:
+            halo_bytes = sum(
+                r.num_elements * esize
+                for j, r in enumerate(pieces[core_index])
+                if j != core_index
+            )
+        cons_modes = [
+            InputMode.FORWARD if i == input_index else InputMode.GLOBAL
+            for i in range(len(consumer.inputs))
+        ]
+        cons_resident = [
+            resident_in_bytes if i == input_index else 0
+            for i in range(len(consumer.inputs))
+        ]
+        cons_usage = _layer_core_usage(
+            consumer,
+            core_index,
+            cons_region,
+            cons_modes,
+            cons_resident,
+            output_resident=False,
+            halo_bytes=halo_bytes,
+            npu=npu,
+        )
+        if cons_usage > core.spm_bytes:
+            return False
+    return True

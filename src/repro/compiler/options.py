@@ -1,0 +1,131 @@
+"""Compilation options -- the paper's cumulative configurations (Table 3).
+
+``Base`` partitions layers adaptively (h1-h5), schedules them with
+Algorithm 1 and pipelines tiles within each core.  ``+Halo`` additionally
+exchanges borderline data core-to-core (with the halo-first tile policy)
+and forwards feature maps in the SPM.  ``+Stratum`` additionally fuses
+eligible layer runs into synchronization-free strata (Algorithm 2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import FrozenSet
+
+from repro.partition.direction import PartitionPolicy
+from repro.partition.heuristics import ALL_HEURISTICS
+
+
+class ScheduleStrategy(enum.Enum):
+    """Layer-ordering strategy (Figure 6).
+
+    ``ALGORITHM1`` is the paper's hybrid: follow the consumer of a
+    spatially partitioned layer (data reuse), take a sibling otherwise
+    (extend the span between synchronization points).  The pure
+    strategies exist for the Figure 8 comparison.
+    """
+
+    ALGORITHM1 = "algorithm1"
+    DEPTH_FIRST = "depth-first"
+    BREADTH_FIRST = "breadth-first"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclasses.dataclass(frozen=True)
+class CompileOptions:
+    """Switches for the optimization pipeline."""
+
+    partition_policy: PartitionPolicy = PartitionPolicy.ADAPTIVE
+    enabled_heuristics: FrozenSet[str] = ALL_HEURISTICS
+    schedule_strategy: ScheduleStrategy = ScheduleStrategy.ALGORITHM1
+    #: Exchange halo data directly between cores for adjacent spatial pairs.
+    halo_exchange: bool = False
+    #: Schedule halo-producing tiles first within a sub-layer.
+    halo_first: bool = False
+    #: Keep producer outputs resident in SPM for the immediately following
+    #: consumer (feature-map forwarding).
+    feature_map_forwarding: bool = False
+    #: Build strata (Algorithm 2) and run them sync- and store-free.
+    stratum: bool = False
+    #: Count the eliminated store/load round trip in h8's gain estimate.
+    stratum_roundtrip_gain: bool = True
+
+    @classmethod
+    def base(cls, policy: PartitionPolicy = PartitionPolicy.ADAPTIVE) -> "CompileOptions":
+        """The paper's Base configuration."""
+        return cls(partition_policy=policy)
+
+    @classmethod
+    def halo(cls, policy: PartitionPolicy = PartitionPolicy.ADAPTIVE) -> "CompileOptions":
+        """The paper's +Halo configuration (Table 3): halo-exchange plus
+        the halo-first tile policy, cumulative on Base.
+
+        Feature-map forwarding rides along where the SPM allows it, per
+        the paper's Table 5 note ("halo exchange can have more chances of
+        feature-map forwarding"); disable with ``without_forwarding()``
+        for the bare-exchange ablation.
+        """
+        return cls(
+            partition_policy=policy,
+            halo_exchange=True,
+            halo_first=True,
+            feature_map_forwarding=True,
+        )
+
+    @classmethod
+    def stratum_config(
+        cls, policy: PartitionPolicy = PartitionPolicy.ADAPTIVE
+    ) -> "CompileOptions":
+        """The paper's +Stratum configuration (cumulative on +Halo).
+
+        Strata forward feature maps internally through SPM ring buffers;
+        outside strata the +Halo machinery (including forwarding) applies.
+        """
+        return cls(
+            partition_policy=policy,
+            halo_exchange=True,
+            halo_first=True,
+            feature_map_forwarding=True,
+            stratum=True,
+        )
+
+    @classmethod
+    def stratum_only(
+        cls, policy: PartitionPolicy = PartitionPolicy.ADAPTIVE
+    ) -> "CompileOptions":
+        """Strata without halo-exchange (Table 5's '+Stratum only' row)."""
+        return cls(
+            partition_policy=policy,
+            halo_exchange=False,
+            halo_first=False,
+            feature_map_forwarding=True,
+            stratum=True,
+        )
+
+    def with_forwarding(self) -> "CompileOptions":
+        """Enable SPM feature-map forwarding on top of this configuration."""
+        return dataclasses.replace(self, feature_map_forwarding=True)
+
+    def without_forwarding(self) -> "CompileOptions":
+        """Disable feature-map forwarding (bare halo-exchange ablation)."""
+        return dataclasses.replace(self, feature_map_forwarding=False)
+
+    @classmethod
+    def single_core(cls) -> "CompileOptions":
+        """The 1-core baseline."""
+        return cls(partition_policy=PartitionPolicy.SINGLE_CORE)
+
+    @property
+    def label(self) -> str:
+        if self.partition_policy is PartitionPolicy.SINGLE_CORE:
+            return "1-core"
+        if self.stratum and self.halo_exchange:
+            return "+Stratum"
+        if self.stratum:
+            return "+Stratum-only"
+        if self.halo_exchange:
+            return "+Halo"
+        return "Base"

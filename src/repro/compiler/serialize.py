@@ -1,0 +1,78 @@
+"""Program (de)serialization to JSON.
+
+A compiled :class:`Program` is a plain command list, so it round-trips
+losslessly through JSON.  This decouples compilation from simulation --
+compile once, archive the program, replay it later or on another machine
+description (the simulator only needs core counts to match).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Union
+
+from repro.compiler.program import Command, CommandKind, Program
+
+FORMAT_VERSION = 1
+
+
+def program_to_dict(program: Program) -> Dict:
+    """Plain-dict form of a program."""
+    return {
+        "format": "repro-program",
+        "version": FORMAT_VERSION,
+        "num_cores": program.num_cores,
+        "commands": [
+            {
+                "cid": c.cid,
+                "core": c.core,
+                "kind": c.kind.value,
+                "deps": list(c.deps),
+                "bytes": c.num_bytes,
+                "macs": c.macs,
+                "cycles": c.cycles,
+                "layer": c.layer,
+                "tag": c.tag,
+            }
+            for c in program.commands
+        ],
+    }
+
+
+def program_from_dict(data: Dict) -> Program:
+    """Rebuild a program; validates structure and content."""
+    if data.get("format") != "repro-program":
+        raise ValueError("not a repro program document")
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported program format version {data.get('version')!r}"
+        )
+    commands: List[Command] = []
+    for entry in data["commands"]:
+        commands.append(
+            Command(
+                cid=int(entry["cid"]),
+                core=int(entry["core"]),
+                kind=CommandKind(entry["kind"]),
+                deps=tuple(int(d) for d in entry["deps"]),
+                num_bytes=int(entry["bytes"]),
+                macs=int(entry["macs"]),
+                cycles=float(entry["cycles"]),
+                layer=entry.get("layer", ""),
+                tag=entry.get("tag", ""),
+            )
+        )
+    program = Program(num_cores=int(data["num_cores"]), commands=commands)
+    program.validate()
+    return program
+
+
+def save_program(program: Program, path: Union[str, pathlib.Path]) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(program_to_dict(program)))
+    return path
+
+
+def load_program(path: Union[str, pathlib.Path]) -> Program:
+    return program_from_dict(json.loads(pathlib.Path(path).read_text()))

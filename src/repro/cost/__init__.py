@@ -1,0 +1,33 @@
+"""Analytical cost model shared by the compiler heuristics."""
+
+from repro.cost.compute import OP_LAUNCH_CYCLES, compute_cycles, layer_compute_cycles
+from repro.cost.memory import (
+    align_up,
+    aligned_region_bytes,
+    aligned_weight_bytes,
+    ceil_div,
+    fits_in_spm,
+    spm_tensor_bytes,
+    transfer_cycles,
+)
+from repro.cost.sync import (
+    redundant_compute_cost_cycles,
+    store_load_roundtrip_cycles,
+    sync_cost_cycles,
+)
+
+__all__ = [
+    "OP_LAUNCH_CYCLES",
+    "align_up",
+    "aligned_region_bytes",
+    "aligned_weight_bytes",
+    "ceil_div",
+    "compute_cycles",
+    "fits_in_spm",
+    "layer_compute_cycles",
+    "redundant_compute_cost_cycles",
+    "spm_tensor_bytes",
+    "store_load_roundtrip_cycles",
+    "sync_cost_cycles",
+    "transfer_cycles",
+]

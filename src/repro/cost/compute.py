@@ -1,0 +1,33 @@
+"""Compute-time estimation for layer slices on a core.
+
+The compiler's heuristics (workload balancing, tiling, stratum cost
+comparison *h8*) all need "how long would this slice take on this core".
+The simulator integrates the same formula, mirroring the paper's
+methodology of fitting cost estimators to profiled hardware: here the
+"hardware" is the simulator, so estimator and machine agree by
+construction.
+"""
+
+from __future__ import annotations
+
+from repro.hw.config import CoreConfig
+from repro.ir.graph import Layer
+from repro.ir.tensor import Region
+
+#: Fixed per-operation launch overhead (sequencer setup, descriptor fetch).
+OP_LAUNCH_CYCLES = 150
+
+
+def compute_cycles(macs: int, core: CoreConfig, include_launch: bool = True) -> float:
+    """Cycles for ``macs`` multiply-accumulates on ``core``."""
+    if macs < 0:
+        raise ValueError("macs must be non-negative")
+    cycles = macs / core.effective_macs_per_cycle
+    if include_launch and macs > 0:
+        cycles += OP_LAUNCH_CYCLES
+    return cycles
+
+
+def layer_compute_cycles(layer: Layer, out_region: Region, core: CoreConfig) -> float:
+    """Cycles to compute ``out_region`` of ``layer`` on ``core``."""
+    return compute_cycles(layer.macs(out_region), core)

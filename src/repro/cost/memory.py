@@ -1,0 +1,81 @@
+"""DMA transfer sizing and timing.
+
+Two concerns live here:
+
+* **Alignment padding** -- the adder-tree engines consume channel groups of
+  a fixed size, so a channel slice of ``c`` channels actually moves
+  ``ceil(c / align) * align`` channels worth of bytes.  This is what makes
+  channel partitioning waste bandwidth and imbalance cores on shallow
+  tensors (Table 4 discussion).
+* **Isolated transfer time** -- the cost model's estimate assuming no bus
+  contention; the simulator models contention explicitly, this estimate is
+  what compiler heuristics use.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.hw.config import CoreConfig, NPUConfig
+from repro.ir.dtypes import DataType
+from repro.ir.tensor import Region
+
+
+def align_up(value: int, alignment: int) -> int:
+    if alignment <= 0:
+        raise ValueError("alignment must be positive")
+    return ((value + alignment - 1) // alignment) * alignment
+
+
+def aligned_region_bytes(region: Region, dtype: DataType, core: CoreConfig) -> int:
+    """SPM footprint of ``region`` given the core's alignment.
+
+    Channels pad to ``channel_alignment``; rows pad to ``spatial_alignment``.
+    This is the *storage* size in the scratch-pad -- the adder tree reads
+    channel groups of fixed width, so the SPM keeps tensors padded.  DMA
+    transfers move only the dense bytes (see :func:`transfer_bytes`); the
+    zero-fill happens locally.
+    """
+    if region.is_empty:
+        return 0
+    rows = align_up(region.rows.length, core.spatial_alignment)
+    chans = align_up(region.chans.length, core.channel_alignment)
+    return rows * region.cols.length * chans * dtype.size_bytes
+
+
+def transfer_bytes(region: Region, dtype: DataType) -> int:
+    """Bytes a DMA transfer actually moves for ``region`` (dense, unpadded)."""
+    return region.size_bytes(dtype) if not region.is_empty else 0
+
+
+def aligned_weight_bytes(elements: int, dtype: DataType, core: CoreConfig) -> int:
+    """Bytes moved for a weight slice of ``elements`` parameters."""
+    if elements <= 0:
+        return 0
+    # Weights stream in channel-aligned bursts too.
+    return align_up(elements, core.channel_alignment) * dtype.size_bytes
+
+
+def transfer_cycles(num_bytes: int, core: CoreConfig, npu: NPUConfig) -> float:
+    """Isolated (contention-free) DMA time for ``num_bytes``."""
+    if num_bytes < 0:
+        raise ValueError("num_bytes must be non-negative")
+    if num_bytes == 0:
+        return 0.0
+    rate = min(core.dma_bytes_per_cycle, npu.bus_bytes_per_cycle)
+    return npu.dram_latency_cycles + num_bytes / rate
+
+
+def spm_tensor_bytes(region: Region, dtype: DataType, core: CoreConfig) -> int:
+    """SPM footprint of a tensor region (same padding as transfers)."""
+    return aligned_region_bytes(region, dtype, core)
+
+
+def fits_in_spm(total_bytes: int, core: CoreConfig) -> bool:
+    return total_bytes <= core.spm_bytes
+
+
+def ceil_div(a: int, b: int) -> int:
+    if b <= 0:
+        raise ValueError("divisor must be positive")
+    return math.ceil(a / b)

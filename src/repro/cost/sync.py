@@ -1,0 +1,57 @@
+"""Cost estimators for synchronization and redundant computation.
+
+These are the two sides of heuristic *h8* (Algorithm 2): a layer joins a
+stratum only when the redundant computation it adds is cheaper than the
+synchronization (plus the store/load round trip) it removes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cost.compute import compute_cycles
+from repro.cost.memory import transfer_cycles
+from repro.hw.config import NPUConfig
+from repro.ir.graph import Layer
+from repro.ir.tensor import Region
+
+
+def sync_cost_cycles(npu: NPUConfig) -> float:
+    """Fixed overhead of one inter-core barrier (excluding imbalance wait)."""
+    return npu.sync_cost_cycles()
+
+
+def store_load_roundtrip_cycles(
+    layer: Layer, out_regions: Sequence[Region], npu: NPUConfig
+) -> float:
+    """Worst-core time to store ``out_regions`` and reload them.
+
+    This is the global-memory round trip a stratum eliminates in addition
+    to the barrier itself: the producing layer's store and the consuming
+    layer's (non-kernel) load.
+    """
+    worst = 0.0
+    for core_index, region in enumerate(out_regions):
+        if region.is_empty:
+            continue
+        core = npu.core(core_index)
+        nbytes = region.size_bytes(layer.dtype)
+        worst = max(worst, 2 * transfer_cycles(nbytes, core, npu))
+    return worst
+
+
+def redundant_compute_cost_cycles(
+    layer: Layer,
+    redundant_macs_per_core: Sequence[int],
+    npu: NPUConfig,
+) -> float:
+    """Worst-core cycles spent on the redundant (halo) computation.
+
+    The stratum's extra work happens in parallel across cores, so the cost
+    that matters is the slowest core's share.
+    """
+    worst = 0.0
+    for core_index, macs in enumerate(redundant_macs_per_core):
+        core = npu.core(core_index)
+        worst = max(worst, compute_cycles(macs, core, include_launch=False))
+    return worst

@@ -1,0 +1,22 @@
+"""Machine descriptions for multicore NPUs."""
+
+from repro.hw.config import CoreConfig, NPUConfig
+from repro.hw.presets import exynos2100_like, homogeneous, tiny_test_machine
+from repro.hw.serialize import (
+    load_machine,
+    machine_from_dict,
+    machine_to_dict,
+    save_machine,
+)
+
+__all__ = [
+    "CoreConfig",
+    "NPUConfig",
+    "exynos2100_like",
+    "homogeneous",
+    "load_machine",
+    "machine_from_dict",
+    "machine_to_dict",
+    "save_machine",
+    "tiny_test_machine",
+]

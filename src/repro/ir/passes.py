@@ -1,0 +1,169 @@
+"""Graph-level optimization passes (the compiler front end).
+
+The NPU executes fused operator bundles, so the front end canonicalizes
+the imported graph before partitioning:
+
+* ``fold_activations`` -- a standalone ``Activation`` following an op
+  with a fusable activation slot merges into the producer (one NPU
+  command instead of two layer executions);
+* ``remove_identity_crops`` -- crops that change nothing disappear;
+* ``eliminate_dead_layers`` -- layers whose results no graph output
+  depends on are dropped (e.g. auxiliary training heads).
+
+Passes are pure: they build a new Graph and never mutate the input.
+``optimize`` runs the standard pipeline and reports what happened.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.ir.graph import Graph, Layer
+from repro.ir.ops import (
+    Activation,
+    Add,
+    Conv2D,
+    Crop,
+    Dense,
+    DepthwiseConv2D,
+    Input,
+    Mul,
+    TransposedConv2D,
+)
+
+#: ops with a fusable ``activation`` attribute.
+_FUSABLE = (Conv2D, DepthwiseConv2D, Dense, Add, Mul, TransposedConv2D)
+
+
+@dataclasses.dataclass
+class PassReport:
+    """What the optimization pipeline changed."""
+
+    folded_activations: int = 0
+    removed_crops: int = 0
+    removed_dead: int = 0
+
+    @property
+    def total_removed(self) -> int:
+        return self.folded_activations + self.removed_crops + self.removed_dead
+
+
+def _rebuild(
+    graph: Graph,
+    drop: Dict[str, str],
+    new_ops: Optional[Dict[str, object]] = None,
+) -> Graph:
+    """Copy ``graph`` without the layers in ``drop`` (remapping consumers
+    to ``drop[name]``) and with ``new_ops`` overriding operators."""
+    new_ops = new_ops or {}
+    out = Graph(graph.name)
+
+    def resolve(name: str) -> str:
+        while name in drop:
+            name = drop[name]
+        return name
+
+    for layer in graph.layers():
+        if layer.name in drop:
+            continue
+        op = new_ops.get(layer.name, layer.op)
+        inputs = [resolve(src) for src in layer.inputs]
+        out.add(layer.name, op, inputs, dtype=layer.dtype)
+    return out
+
+
+def fold_activations(graph: Graph) -> Tuple[Graph, int]:
+    """Merge standalone Activation layers into fusable producers.
+
+    Applies when the Activation is the producer's *only* consumer and
+    the producer has an empty activation slot.
+    """
+    drop: Dict[str, str] = {}
+    new_ops: Dict[str, object] = {}
+    for layer in graph.layers():
+        if not isinstance(layer.op, Activation):
+            continue
+        (producer_name,) = layer.inputs
+        producer = graph.layer(producer_name)
+        if producer.name in drop or producer.name in new_ops:
+            continue
+        if not isinstance(producer.op, _FUSABLE):
+            continue
+        if producer.op.activation is not None:
+            continue
+        if graph.consumers(producer_name) != [layer.name]:
+            continue
+        new_ops[producer_name] = dataclasses.replace(
+            producer.op, activation=layer.op.kind
+        )
+        drop[layer.name] = producer_name
+    if not drop:
+        return graph, 0
+    return _rebuild(graph, drop, new_ops), len(drop)
+
+
+def remove_identity_crops(graph: Graph) -> Tuple[Graph, int]:
+    """Drop Crop layers whose output equals their input."""
+    drop: Dict[str, str] = {}
+    for layer in graph.layers():
+        if not isinstance(layer.op, Crop):
+            continue
+        (ishape,) = layer.input_shapes
+        if (layer.op.out_h, layer.op.out_w) == (ishape.h, ishape.w):
+            drop[layer.name] = layer.inputs[0]
+    if not drop:
+        return graph, 0
+    return _rebuild(graph, drop), len(drop)
+
+
+def eliminate_dead_layers(
+    graph: Graph, keep: Optional[List[str]] = None
+) -> Tuple[Graph, int]:
+    """Drop layers no kept output transitively depends on.
+
+    ``keep`` defaults to the graph's outputs (layers with no consumers).
+    """
+    keep = keep or [l.name for l in graph.outputs()]
+    live = set()
+    stack = list(keep)
+    while stack:
+        name = stack.pop()
+        if name in live:
+            continue
+        live.add(name)
+        stack.extend(graph.producers(name))
+    dead = [l.name for l in graph.layers() if l.name not in live]
+    if not dead:
+        return graph, 0
+    out = Graph(graph.name)
+    for layer in graph.layers():
+        if layer.name in live:
+            out.add(layer.name, layer.op, list(layer.inputs), dtype=layer.dtype)
+    return out, len(dead)
+
+
+def optimize(
+    graph: Graph, keep: Optional[List[str]] = None
+) -> Tuple[Graph, PassReport]:
+    """Run the standard front-end pipeline to a fixed point.
+
+    ``keep`` names the true network outputs; without it every
+    consumer-less layer counts as an output (nothing is "dead" merely
+    for being last).
+    """
+    report = PassReport()
+    changed = True
+    while changed:
+        changed = False
+        graph, n = fold_activations(graph)
+        report.folded_activations += n
+        changed = changed or n > 0
+        graph, n = remove_identity_crops(graph)
+        report.removed_crops += n
+        changed = changed or n > 0
+        graph, n = eliminate_dead_layers(graph, keep=keep)
+        report.removed_dead += n
+        changed = changed or n > 0
+    graph.validate()
+    return graph, report

@@ -1,0 +1,98 @@
+"""Graph traversal orders.
+
+The paper contrasts depth-first and breadth-first layer scheduling
+(Figure 6): depth-first maximizes producer-consumer adjacency (data reuse),
+breadth-first widens the span between synchronization points.  Both are
+plain topological orders; they differ in tie-breaking.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List
+
+from repro.ir.graph import Graph
+
+
+def _indegrees(graph: Graph) -> Dict[str, int]:
+    return {l.name: len(l.inputs) for l in graph.layers()}
+
+
+def depth_first_order(graph: Graph) -> List[str]:
+    """Topological order preferring the most recently enabled layer (DFS-like).
+
+    When several layers are ready, the one whose producer was scheduled
+    last is chosen, chaining producers to consumers.
+    """
+    indeg = _indegrees(graph)
+    stack = [l.name for l in reversed(graph.layers()) if indeg[l.name] == 0]
+    order: List[str] = []
+    while stack:
+        name = stack.pop()
+        order.append(name)
+        # Push consumers in reverse declaration order so the first-declared
+        # ready consumer is visited next.
+        enabled = []
+        for consumer in graph.consumers(name):
+            indeg[consumer] -= 1
+            if indeg[consumer] == 0:
+                enabled.append(consumer)
+        for consumer in reversed(enabled):
+            stack.append(consumer)
+    if len(order) != len(graph):
+        raise ValueError("graph has unreachable or cyclic layers")
+    return order
+
+
+def breadth_first_order(graph: Graph) -> List[str]:
+    """Topological order visiting layers level by level (BFS-like)."""
+    indeg = _indegrees(graph)
+    queue = deque(l.name for l in graph.layers() if indeg[l.name] == 0)
+    order: List[str] = []
+    while queue:
+        name = queue.popleft()
+        order.append(name)
+        for consumer in graph.consumers(name):
+            indeg[consumer] -= 1
+            if indeg[consumer] == 0:
+                queue.append(consumer)
+    if len(order) != len(graph):
+        raise ValueError("graph has unreachable or cyclic layers")
+    return order
+
+
+def depth_first_tree(graph: Graph) -> Dict[str, str]:
+    """Parent map of the depth-first traversal tree.
+
+    ``parent[x]`` is the layer from which the DFS first reached ``x``.
+    Input layers map to themselves.  Algorithm 1's sibling lookup walks
+    this tree upward.
+    """
+    order = depth_first_order(graph)
+    position = {name: i for i, name in enumerate(order)}
+    parent: Dict[str, str] = {}
+    for name in order:
+        producers = graph.producers(name)
+        if not producers:
+            parent[name] = name
+        else:
+            # The DFS reaches a node through its last-scheduled producer.
+            parent[name] = max(producers, key=lambda p: position[p])
+    return parent
+
+
+def is_ancestor(graph: Graph, ancestor: str, node: str) -> bool:
+    """True when ``ancestor`` reaches ``node`` through graph edges."""
+    if ancestor == node:
+        return True
+    seen = set()
+    stack = [ancestor]
+    while stack:
+        cur = stack.pop()
+        for consumer in graph.consumers(cur):
+            if consumer == node:
+                return True
+            if consumer not in seen:
+                seen.add(consumer)
+                stack.append(consumer)
+    return False

@@ -1,0 +1,71 @@
+"""DeepLabV3+ (Chen et al., 2018) -- 513x513x3, INT16 (paper Table 2).
+
+The mobile configuration: a MobileNetV2 backbone run at output stride 16
+(later strides converted to atrous/dilated convolutions), an ASPP module
+with atrous rates 6/12/18 plus image-level pooling, and the decoder that
+fuses stride-4 low-level features before the final upsampling.
+
+The only liberty taken is resizing: the reference implementation uses
+arbitrary-size bilinear resizes, while this IR upsamples by integer
+factors and center-crops to the target size -- same data volume and
+arithmetic, simulator-friendly shapes.
+"""
+
+from __future__ import annotations
+
+from repro.ir.dtypes import DataType
+from repro.ir.graph import Graph
+from repro.models.builder import GraphBuilder
+from repro.models.mobilenet_v2 import INVERTED_RESIDUAL_SETTINGS, backbone
+
+ATROUS_RATES = (6, 12, 18)
+
+
+def _aspp(b: GraphBuilder, x: str, out_channels: int = 256) -> str:
+    """Atrous spatial pyramid pooling at output stride 16."""
+    h = b.shape(x).h
+    w = b.shape(x).w
+    branches = [b.conv(x, out_channels, kernel=1, name="aspp_1x1")]
+    for rate in ATROUS_RATES:
+        branches.append(
+            b.conv(
+                x, out_channels, kernel=3, dilation=rate, name=f"aspp_r{rate}"
+            )
+        )
+    pooled = b.global_avgpool(x, name="aspp_pool")
+    pooled = b.conv(pooled, out_channels, kernel=1, name="aspp_pool_proj")
+    pooled = b.upsample(pooled, factor=h, mode="nearest", name="aspp_pool_up")
+    if b.shape(pooled).h != h or b.shape(pooled).w != w:
+        pooled = b.crop(pooled, h, w, name="aspp_pool_crop")
+    branches.append(pooled)
+    y = b.concat(branches, name="aspp_concat")
+    return b.conv(y, out_channels, kernel=1, name="aspp_proj")
+
+
+def deeplab_v3plus(num_classes: int = 21, input_size: int = 513) -> Graph:
+    """DeepLabV3+ with MobileNetV2 backbone at output stride 16."""
+    b = GraphBuilder("deeplab_v3plus", dtype=DataType.INT16)
+    x = b.input(input_size, input_size, 3, name="image")
+
+    features = backbone(b, x, INVERTED_RESIDUAL_SETTINGS, dilate_after_stride=16)
+    # Low-level feature: output of the last stride-4 block (block 2).
+    low_level = features[3]
+    high_level = features[-1]
+
+    y = _aspp(b, high_level)
+
+    # Decoder: x4 upsample, fuse low-level features, refine, x4 upsample.
+    low_h = b.shape(low_level).h
+    low_w = b.shape(low_level).w
+    y = b.upsample(y, factor=4, mode="bilinear", name="decoder_up0")
+    if b.shape(y).h != low_h or b.shape(y).w != low_w:
+        y = b.crop(y, low_h, low_w, name="decoder_crop0")
+    low = b.conv(low_level, 48, kernel=1, name="decoder_lowproj")
+    y = b.concat([y, low], name="decoder_concat")
+    y = b.conv(y, 256, kernel=3, name="decoder_conv0")
+    y = b.conv(y, 256, kernel=3, name="decoder_conv1")
+    y = b.conv(y, num_classes, kernel=1, activation=None, name="decoder_logits")
+    y = b.upsample(y, factor=4, mode="bilinear", name="decoder_up1")
+    if b.shape(y).h != input_size or b.shape(y).w != input_size:
+        y = b.crop(y, input_size, input_size, name="decoder_crop1")
+    return b.build()

@@ -1,0 +1,137 @@
+"""InceptionV3 (Szegedy et al., 2015) -- 299x299x3, INT8 (paper Table 2).
+
+Faithful structural reproduction of the TF-slim InceptionV3: the stem,
+three 35x35 A-blocks, reduction A, four 17x17 B-blocks (with the 7x1/1x7
+factorized convolutions), reduction B, two 8x8 C-blocks, global pooling
+and the 1000-way classifier.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.dtypes import DataType
+from repro.ir.graph import Graph
+from repro.ir.ops import Padding
+from repro.models.builder import GraphBuilder
+
+#: Layer names of the stem region used by Table 5 of the paper.
+STEM_LAYERS = (
+    "stem_conv0",
+    "stem_conv1",
+    "stem_conv2",
+    "stem_pool0",
+    "stem_conv3",
+    "stem_conv4",
+    "stem_pool1",
+)
+
+
+def _block_a(b: GraphBuilder, x: str, pool_proj: int, prefix: str) -> str:
+    """35x35 Inception-A block."""
+    br0 = b.conv(x, 64, kernel=1, name=f"{prefix}_b0_1x1")
+    br1 = b.conv(x, 48, kernel=1, name=f"{prefix}_b1_1x1")
+    br1 = b.conv(br1, 64, kernel=5, name=f"{prefix}_b1_5x5")
+    br2 = b.conv(x, 64, kernel=1, name=f"{prefix}_b2_1x1")
+    br2 = b.conv(br2, 96, kernel=3, name=f"{prefix}_b2_3x3a")
+    br2 = b.conv(br2, 96, kernel=3, name=f"{prefix}_b2_3x3b")
+    br3 = b.avgpool(x, kernel=3, stride=1, padding=Padding.SAME, name=f"{prefix}_b3_pool")
+    br3 = b.conv(br3, pool_proj, kernel=1, name=f"{prefix}_b3_1x1")
+    return b.concat([br0, br1, br2, br3], name=f"{prefix}_concat")
+
+
+def _reduction_a(b: GraphBuilder, x: str, prefix: str) -> str:
+    br0 = b.conv(x, 384, kernel=3, stride=2, padding=Padding.VALID, name=f"{prefix}_b0_3x3")
+    br1 = b.conv(x, 64, kernel=1, name=f"{prefix}_b1_1x1")
+    br1 = b.conv(br1, 96, kernel=3, name=f"{prefix}_b1_3x3a")
+    br1 = b.conv(br1, 96, kernel=3, stride=2, padding=Padding.VALID, name=f"{prefix}_b1_3x3b")
+    br2 = b.maxpool(x, kernel=3, stride=2, padding=Padding.VALID, name=f"{prefix}_b2_pool")
+    return b.concat([br0, br1, br2], name=f"{prefix}_concat")
+
+
+def _block_b(b: GraphBuilder, x: str, mid: int, prefix: str) -> str:
+    """17x17 Inception-B block with factorized 7x7 convolutions."""
+    br0 = b.conv(x, 192, kernel=1, name=f"{prefix}_b0_1x1")
+    br1 = b.conv(x, mid, kernel=1, name=f"{prefix}_b1_1x1")
+    br1 = b.conv(br1, mid, kernel=1, kernel_w=7, name=f"{prefix}_b1_1x7")
+    br1 = b.conv(br1, 192, kernel=7, kernel_w=1, name=f"{prefix}_b1_7x1")
+    br2 = b.conv(x, mid, kernel=1, name=f"{prefix}_b2_1x1")
+    br2 = b.conv(br2, mid, kernel=7, kernel_w=1, name=f"{prefix}_b2_7x1a")
+    br2 = b.conv(br2, mid, kernel=1, kernel_w=7, name=f"{prefix}_b2_1x7a")
+    br2 = b.conv(br2, mid, kernel=7, kernel_w=1, name=f"{prefix}_b2_7x1b")
+    br2 = b.conv(br2, 192, kernel=1, kernel_w=7, name=f"{prefix}_b2_1x7b")
+    br3 = b.avgpool(x, kernel=3, stride=1, padding=Padding.SAME, name=f"{prefix}_b3_pool")
+    br3 = b.conv(br3, 192, kernel=1, name=f"{prefix}_b3_1x1")
+    return b.concat([br0, br1, br2, br3], name=f"{prefix}_concat")
+
+
+def _reduction_b(b: GraphBuilder, x: str, prefix: str) -> str:
+    br0 = b.conv(x, 192, kernel=1, name=f"{prefix}_b0_1x1")
+    br0 = b.conv(br0, 320, kernel=3, stride=2, padding=Padding.VALID, name=f"{prefix}_b0_3x3")
+    br1 = b.conv(x, 192, kernel=1, name=f"{prefix}_b1_1x1")
+    br1 = b.conv(br1, 192, kernel=1, kernel_w=7, name=f"{prefix}_b1_1x7")
+    br1 = b.conv(br1, 192, kernel=7, kernel_w=1, name=f"{prefix}_b1_7x1")
+    br1 = b.conv(br1, 192, kernel=3, stride=2, padding=Padding.VALID, name=f"{prefix}_b1_3x3")
+    br2 = b.maxpool(x, kernel=3, stride=2, padding=Padding.VALID, name=f"{prefix}_b2_pool")
+    return b.concat([br0, br1, br2], name=f"{prefix}_concat")
+
+
+def _block_c(b: GraphBuilder, x: str, prefix: str) -> str:
+    """8x8 Inception-C block with split 1x3/3x1 branches."""
+    br0 = b.conv(x, 320, kernel=1, name=f"{prefix}_b0_1x1")
+    br1 = b.conv(x, 384, kernel=1, name=f"{prefix}_b1_1x1")
+    br1a = b.conv(br1, 384, kernel=1, kernel_w=3, name=f"{prefix}_b1_1x3")
+    br1b = b.conv(br1, 384, kernel=3, kernel_w=1, name=f"{prefix}_b1_3x1")
+    br2 = b.conv(x, 448, kernel=1, name=f"{prefix}_b2_1x1")
+    br2 = b.conv(br2, 384, kernel=3, name=f"{prefix}_b2_3x3")
+    br2a = b.conv(br2, 384, kernel=1, kernel_w=3, name=f"{prefix}_b2_1x3")
+    br2b = b.conv(br2, 384, kernel=3, kernel_w=1, name=f"{prefix}_b2_3x1")
+    br3 = b.avgpool(x, kernel=3, stride=1, padding=Padding.SAME, name=f"{prefix}_b3_pool")
+    br3 = b.conv(br3, 192, kernel=1, name=f"{prefix}_b3_1x1")
+    return b.concat([br0, br1a, br1b, br2a, br2b, br3], name=f"{prefix}_concat")
+
+
+def build_stem(b: GraphBuilder, x: str) -> str:
+    """The stem region (input to the second max-pool), Table 5's subject."""
+    y = b.conv(x, 32, kernel=3, stride=2, padding=Padding.VALID, name="stem_conv0")
+    y = b.conv(y, 32, kernel=3, padding=Padding.VALID, name="stem_conv1")
+    y = b.conv(y, 64, kernel=3, padding=Padding.SAME, name="stem_conv2")
+    y = b.maxpool(y, kernel=3, stride=2, padding=Padding.VALID, name="stem_pool0")
+    y = b.conv(y, 80, kernel=1, name="stem_conv3")
+    y = b.conv(y, 192, kernel=3, padding=Padding.VALID, name="stem_conv4")
+    y = b.maxpool(y, kernel=3, stride=2, padding=Padding.VALID, name="stem_pool1")
+    return y
+
+
+def inception_v3(num_classes: int = 1000) -> Graph:
+    """Full InceptionV3 graph (94 convolutions, 11 inception blocks)."""
+    b = GraphBuilder("inception_v3", dtype=DataType.INT8)
+    x = b.input(299, 299, 3, name="image")
+    y = build_stem(b, x)
+
+    y = _block_a(b, y, pool_proj=32, prefix="mixed5b")
+    y = _block_a(b, y, pool_proj=64, prefix="mixed5c")
+    y = _block_a(b, y, pool_proj=64, prefix="mixed5d")
+    y = _reduction_a(b, y, prefix="mixed6a")
+
+    y = _block_b(b, y, mid=128, prefix="mixed6b")
+    y = _block_b(b, y, mid=160, prefix="mixed6c")
+    y = _block_b(b, y, mid=160, prefix="mixed6d")
+    y = _block_b(b, y, mid=192, prefix="mixed6e")
+    y = _reduction_b(b, y, prefix="mixed7a")
+
+    y = _block_c(b, y, prefix="mixed7b")
+    y = _block_c(b, y, prefix="mixed7c")
+
+    y = b.global_avgpool(y, name="pool")
+    y = b.dense(y, num_classes, name="logits")
+    b.softmax(y, name="predictions")
+    return b.build()
+
+
+def inception_v3_stem() -> Graph:
+    """Just the stem region as a standalone graph (Table 5 workload)."""
+    b = GraphBuilder("inception_v3_stem", dtype=DataType.INT8)
+    x = b.input(299, 299, 3, name="image")
+    build_stem(b, x)
+    return b.build()

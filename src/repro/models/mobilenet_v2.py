@@ -1,0 +1,77 @@
+"""MobileNetV2 (Sandler et al., 2018) -- 224x224x3, INT8 (paper Table 2).
+
+The standard width-1.0 configuration: initial 3x3/2 convolution, 17
+inverted-residual blocks following the (expansion, channels, repeats,
+stride) table of the paper, the final 1x1 convolution to 1280 channels,
+global pooling and the classifier.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.ir.dtypes import DataType
+from repro.ir.graph import Graph
+from repro.models.builder import GraphBuilder
+
+#: (expansion t, output channels c, repeats n, first stride s)
+INVERTED_RESIDUAL_SETTINGS: Tuple[Tuple[int, int, int, int], ...] = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+
+def backbone(
+    b: GraphBuilder,
+    x: str,
+    settings: Tuple[Tuple[int, int, int, int], ...] = INVERTED_RESIDUAL_SETTINGS,
+    dilate_after_stride: int = 0,
+) -> List[str]:
+    """MobileNetV2 feature extractor; returns the output of every block.
+
+    ``dilate_after_stride``: when nonzero, strides beyond this cumulative
+    output stride are converted to dilation (the atrous trick DeepLabV3+
+    uses to keep output stride 16).
+    """
+    y = b.conv(x, 32, kernel=3, stride=2, activation="relu6", name="stem_conv")
+    outputs = [y]
+    block = 0
+    current_stride = 2
+    dilation = 1
+    for t, c, n, s in settings:
+        for i in range(n):
+            stride = s if i == 0 else 1
+            if dilate_after_stride and stride > 1:
+                if current_stride >= dilate_after_stride:
+                    dilation *= stride
+                    stride = 1
+                else:
+                    current_stride *= stride
+            y = b.inverted_residual(
+                y,
+                out_channels=c,
+                expansion=t,
+                stride=stride,
+                dilation=dilation if stride == 1 else 1,
+                prefix=f"block{block}",
+            )
+            outputs.append(y)
+            block += 1
+    return outputs
+
+
+def mobilenet_v2(num_classes: int = 1000, input_size: int = 224) -> Graph:
+    """Full MobileNetV2 classifier graph."""
+    b = GraphBuilder("mobilenet_v2", dtype=DataType.INT8)
+    x = b.input(input_size, input_size, 3, name="image")
+    features = backbone(b, x)
+    y = b.conv(features[-1], 1280, kernel=1, activation="relu6", name="head_conv")
+    y = b.global_avgpool(y, name="pool")
+    y = b.dense(y, num_classes, name="logits")
+    b.softmax(y, name="predictions")
+    return b.build()

@@ -1,0 +1,84 @@
+"""MobileNetV2-SSDLite (Sandler et al. / Liu et al.) -- 300x300x3, INT8.
+
+The standard SSDLite configuration on a MobileNetV2 backbone: detection
+features are taken from the expansion of block 13 (19x19) and the final
+backbone output (10x10), followed by four extra downsampling stages
+(5x5, 3x3, 2x2, 1x1).  Each feature map gets SSDLite heads (depthwise
+3x3 followed by a 1x1 projection) for box regression and classification.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.ir.dtypes import DataType
+from repro.ir.graph import Graph
+from repro.models.builder import GraphBuilder
+from repro.models.mobilenet_v2 import INVERTED_RESIDUAL_SETTINGS
+
+#: anchors per cell on each of the six feature maps.
+ANCHORS = (3, 6, 6, 6, 6, 6)
+
+
+def _ssdlite_head(
+    b: GraphBuilder, x: str, out_channels: int, prefix: str
+) -> str:
+    """Depthwise 3x3 + linear 1x1 projection (SSDLite style)."""
+    y = b.dwconv(x, kernel=3, activation="relu6", name=f"{prefix}_dw")
+    return b.conv(y, out_channels, kernel=1, activation=None, name=f"{prefix}_proj")
+
+
+def mobilenet_v2_ssd(num_classes: int = 91, input_size: int = 300) -> Graph:
+    """MobileNetV2-SSDLite detector graph with six feature maps."""
+    b = GraphBuilder("mobilenet_v2_ssd", dtype=DataType.INT8)
+    x = b.input(input_size, input_size, 3, name="image")
+
+    # Backbone, exposing the block-13 expansion (the 19x19 C4 feature).
+    y = b.conv(x, 32, kernel=3, stride=2, activation="relu6", name="stem_conv")
+    block = 0
+    c4_feature = None
+    for t, c, n, s in INVERTED_RESIDUAL_SETTINGS:
+        for i in range(n):
+            stride = s if i == 0 else 1
+            if block == 13:
+                # SSD taps the expanded (pre-depthwise) tensor of block 13;
+                # emit the expansion explicitly so it can be consumed twice.
+                hidden = b.channels(y) * t
+                expanded = b.conv(
+                    y, hidden, kernel=1, activation="relu6",
+                    name=f"block{block}_expand",
+                )
+                c4_feature = expanded
+                z = b.dwconv(
+                    expanded, kernel=3, stride=stride, activation="relu6",
+                    name=f"block{block}_dw",
+                )
+                y = b.conv(
+                    z, c, kernel=1, activation=None, name=f"block{block}_project"
+                )
+            else:
+                y = b.inverted_residual(
+                    y, out_channels=c, expansion=t, stride=stride,
+                    prefix=f"block{block}",
+                )
+            block += 1
+    c5_feature = b.conv(y, 1280, kernel=1, activation="relu6", name="head_conv")
+
+    # Extra feature maps: 5x5, 3x3, 2x2, 1x1.
+    extras: List[str] = []
+    feature = c5_feature
+    for idx, (squeeze, out_c) in enumerate(
+        [(256, 512), (128, 256), (128, 256), (64, 128)]
+    ):
+        z = b.conv(feature, squeeze, kernel=1, activation="relu6", name=f"extra{idx}_1x1")
+        feature = b.conv(
+            z, out_c, kernel=3, stride=2, activation="relu6", name=f"extra{idx}_3x3"
+        )
+        extras.append(feature)
+
+    features = [c4_feature, c5_feature] + extras
+    for idx, (feat, k) in enumerate(zip(features, ANCHORS)):
+        _ssdlite_head(b, feat, k * 4, prefix=f"box{idx}")
+        _ssdlite_head(b, feat, k * num_classes, prefix=f"cls{idx}")
+
+    return b.build()

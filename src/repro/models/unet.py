@@ -1,0 +1,51 @@
+"""UNet (Ronneberger et al., 2015) -- 572x572x3, INT8 (paper Table 2).
+
+The original architecture verbatim: four encoder stages of two VALID 3x3
+convolutions each followed by 2x2 max-pooling, a 1024-channel bottleneck,
+and four decoder stages of 2x2 up-convolution, center-cropped skip
+concatenation, and two VALID 3x3 convolutions; a final 1x1 convolution
+produces the segmentation map.  (The original takes a 1-channel input;
+Table 2 of the NPU paper lists 572x572x3, which is used here.)
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.ir.dtypes import DataType
+from repro.ir.graph import Graph
+from repro.ir.ops import Padding
+from repro.models.builder import GraphBuilder
+
+ENCODER_CHANNELS = (64, 128, 256, 512)
+BOTTLENECK_CHANNELS = 1024
+
+
+def _double_conv(b: GraphBuilder, x: str, channels: int, prefix: str) -> str:
+    y = b.conv(x, channels, kernel=3, padding=Padding.VALID, name=f"{prefix}_conv0")
+    return b.conv(y, channels, kernel=3, padding=Padding.VALID, name=f"{prefix}_conv1")
+
+
+def unet(num_classes: int = 2, input_size: int = 572, in_channels: int = 3) -> Graph:
+    """The original UNet graph with VALID convolutions and skip crops."""
+    b = GraphBuilder("unet", dtype=DataType.INT8)
+    x = b.input(input_size, input_size, in_channels, name="image")
+
+    skips: List[str] = []
+    y = x
+    for i, channels in enumerate(ENCODER_CHANNELS):
+        y = _double_conv(b, y, channels, prefix=f"enc{i}")
+        skips.append(y)
+        y = b.maxpool(y, kernel=2, stride=2, name=f"enc{i}_pool")
+
+    y = _double_conv(b, y, BOTTLENECK_CHANNELS, prefix="bottleneck")
+
+    for i, channels in reversed(list(enumerate(ENCODER_CHANNELS))):
+        y = b.deconv(y, channels, kernel=2, stride=2, name=f"dec{i}_up")
+        target = b.shape(y)
+        skip = b.crop(skips[i], target.h, target.w, name=f"dec{i}_crop")
+        y = b.concat([skip, y], name=f"dec{i}_concat")
+        y = _double_conv(b, y, channels, prefix=f"dec{i}")
+
+    b.conv(y, num_classes, kernel=1, activation=None, name="logits")
+    return b.build()

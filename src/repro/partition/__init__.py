@@ -1,0 +1,58 @@
+"""Layer partitioning across NPU cores (operator parallelism)."""
+
+from repro.partition.direction import (
+    CONV_PARTITIONING_METHODS,
+    PartitionDirection,
+    PartitioningMethod,
+    PartitionPolicy,
+    preferred_methods,
+)
+from repro.partition.heuristics import (
+    ALL_HEURISTICS,
+    DirectionChoice,
+    channel_feasible,
+    choose_direction,
+    spatial_feasible,
+)
+from repro.partition.balance import balance_intervals, balance_weights
+from repro.partition.partitioner import (
+    GraphPartition,
+    partition_graph,
+    partition_layer,
+)
+from repro.partition.slicer import (
+    LayerPartition,
+    SubLayer,
+    build_sub_layers,
+    halo_exchange_bytes,
+    halo_regions,
+    output_regions,
+    spatial_halo_rows,
+    validate_partition_covers_output,
+)
+
+__all__ = [
+    "ALL_HEURISTICS",
+    "CONV_PARTITIONING_METHODS",
+    "DirectionChoice",
+    "GraphPartition",
+    "LayerPartition",
+    "PartitionDirection",
+    "PartitionPolicy",
+    "PartitioningMethod",
+    "SubLayer",
+    "balance_intervals",
+    "balance_weights",
+    "build_sub_layers",
+    "channel_feasible",
+    "choose_direction",
+    "halo_exchange_bytes",
+    "halo_regions",
+    "output_regions",
+    "partition_graph",
+    "partition_layer",
+    "preferred_methods",
+    "spatial_feasible",
+    "spatial_halo_rows",
+    "validate_partition_covers_output",
+]

@@ -1,0 +1,97 @@
+"""Workload balancing across heterogeneous cores (Section 3.1.1).
+
+Once a direction is fixed, the partition sizes are chosen so that the
+*total* per-core time -- compute plus DMA -- is level, honouring each
+core's alignment constraints.  Weights are derived from the per-unit cost
+(one output row for spatial splits, one output channel for channel
+splits) on every core.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.hw.config import NPUConfig
+from repro.ir.graph import Layer
+from repro.ir.tensor import Interval, Region, TensorShape, split_interval_weighted
+from repro.partition.direction import PartitionDirection
+
+
+def _unit_region(layer: Layer, direction: PartitionDirection) -> Region:
+    """A one-slice output region used to price a unit of work."""
+    shape = layer.output_shape
+    if direction is PartitionDirection.SPATIAL:
+        return Region(
+            Interval(0, 1), Interval(0, shape.w), Interval(0, shape.c)
+        )
+    return Region(
+        Interval(0, shape.h), Interval(0, shape.w), Interval(0, 1)
+    )
+
+
+def _unit_cost_cycles(
+    layer: Layer, direction: PartitionDirection, core_index: int, npu: NPUConfig
+) -> float:
+    """Approximate cycles one output unit costs on ``core_index``.
+
+    The unit is priced as compute time plus the time to move its share of
+    input and output bytes; kernel loading is excluded because it does not
+    scale with the split for spatial partitions.
+    """
+    core = npu.core(core_index)
+    unit = _unit_region(layer, direction)
+    macs = layer.macs(unit)
+    compute = macs / core.effective_macs_per_cycle
+
+    esize = layer.dtype.size_bytes
+    out_bytes = unit.num_elements * esize
+    in_bytes = 0
+    for i in range(len(layer.inputs)):
+        in_bytes += layer.input_region(unit, i).num_elements * esize
+    rate = min(core.dma_bytes_per_cycle, npu.bus_bytes_per_cycle)
+    dma = (out_bytes + in_bytes) / rate
+    # Load/compute/store pipeline overlaps DMA with compute; the bound is
+    # the slower of the two streams.
+    return max(compute, dma)
+
+
+def balance_weights(
+    layer: Layer, direction: PartitionDirection, npu: NPUConfig
+) -> Tuple[float, ...]:
+    """Relative share of work per core: inverse of its unit cost."""
+    costs = [
+        _unit_cost_cycles(layer, direction, i, npu) for i in range(npu.num_cores)
+    ]
+    return tuple(1.0 / c if c > 0 else 0.0 for c in costs)
+
+
+def balance_intervals(
+    layer: Layer,
+    direction: PartitionDirection,
+    npu: NPUConfig,
+    weights: Optional[Tuple[float, ...]] = None,
+) -> Tuple[Interval, ...]:
+    """Per-core intervals along ``direction``, aligned and load-balanced.
+
+    ``weights`` overrides the analytical per-core shares; profile-guided
+    rebalancing (Section 3.1.3: "profiling execution assists to detect
+    unwanted idle times and fix the unbalance") feeds measured rates back
+    through this parameter.
+    """
+    if direction is PartitionDirection.NONE:
+        raise ValueError("NONE direction has no intervals to balance")
+    shape: TensorShape = layer.output_shape
+    if direction is PartitionDirection.SPATIAL:
+        total = shape.h
+        alignment = max(c.spatial_alignment for c in npu.cores)
+    else:
+        total = shape.c
+        alignment = max(c.channel_alignment for c in npu.cores)
+    if weights is None:
+        weights = balance_weights(layer, direction, npu)
+    elif len(weights) != npu.num_cores:
+        raise ValueError(
+            f"weight override for {layer.name} has {len(weights)} entries, "
+            f"machine has {npu.num_cores} cores"
+        )
+    return split_interval_weighted(total, weights, alignment=alignment)

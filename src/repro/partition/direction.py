@@ -1,0 +1,98 @@
+"""Partitioning directions and the Table 1 method catalogue.
+
+A layer can be split across cores along the spatial (height) axis or the
+output-channel axis.  Table 1 of the paper also lists two starred variants
+that partition the *other* operand and pay a partial-sum reduction; they
+are catalogued here for completeness (and printed by the partitioning-tour
+example) but never chosen by the compiler, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Tuple
+
+
+class PartitionDirection(enum.Enum):
+    """How a layer's work is divided among cores."""
+
+    #: Split input/output along the image height; kernels replicated.
+    SPATIAL = "spatial"
+    #: Split kernels/output along channels; input replicated (or split for
+    #: channel-wise ops).
+    CHANNEL = "channel"
+    #: No split -- the whole layer runs on one core.
+    NONE = "none"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclasses.dataclass(frozen=True)
+class PartitioningMethod:
+    """One row of Table 1: a way to partition a convolution layer."""
+
+    name: str
+    direction: PartitionDirection
+    data_partitioned: Tuple[str, ...]
+    data_replicated: Tuple[str, ...]
+    needs_partial_sum_reduction: bool
+
+    @property
+    def preferred(self) -> bool:
+        """The paper discards methods needing cross-core reductions."""
+        return not self.needs_partial_sum_reduction
+
+
+#: Table 1 of the paper, verbatim.
+CONV_PARTITIONING_METHODS: Tuple[PartitioningMethod, ...] = (
+    PartitioningMethod(
+        name="spatial",
+        direction=PartitionDirection.SPATIAL,
+        data_partitioned=("input", "output"),
+        data_replicated=("kernel",),
+        needs_partial_sum_reduction=False,
+    ),
+    PartitioningMethod(
+        name="spatial*",
+        direction=PartitionDirection.SPATIAL,
+        data_partitioned=("kernel",),
+        data_replicated=("input", "output"),
+        needs_partial_sum_reduction=True,
+    ),
+    PartitioningMethod(
+        name="channel",
+        direction=PartitionDirection.CHANNEL,
+        data_partitioned=("kernel", "output"),
+        data_replicated=("input",),
+        needs_partial_sum_reduction=False,
+    ),
+    PartitioningMethod(
+        name="channel*",
+        direction=PartitionDirection.CHANNEL,
+        data_partitioned=("input", "kernel"),
+        data_replicated=(),
+        needs_partial_sum_reduction=True,
+    ),
+)
+
+
+def preferred_methods() -> Tuple[PartitioningMethod, ...]:
+    return tuple(m for m in CONV_PARTITIONING_METHODS if m.preferred)
+
+
+class PartitionPolicy(enum.Enum):
+    """Compiler-level partitioning policy (Table 4's three schemes)."""
+
+    #: Per-layer direction chosen by heuristics h1-h5 (the paper's Base).
+    ADAPTIVE = "adaptive"
+    #: Force spatial wherever the op supports it.
+    SPATIAL_ONLY = "spatial"
+    #: Force channel wherever the op supports it.
+    CHANNEL_ONLY = "channel"
+    #: Everything on core 0 (the 1-core baseline).
+    SINGLE_CORE = "single-core"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

@@ -1,0 +1,113 @@
+"""Adaptive direction choice: heuristics h1-h5 (Section 3.1.1).
+
+The partitioner prefers spatial partitioning (*h1*) for its data
+reusability and switches to channel partitioning when the operation type
+(*h4*), the data shape (*h3*), the weight-to-input ratio (*h2*) or the
+halo volume (*h5*) make spatial a bad deal.  Each decision carries the
+heuristic's tag so tests and examples can see *why* a direction was
+picked.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import FrozenSet
+
+from repro.hw.config import NPUConfig
+from repro.ir.graph import Layer
+from repro.ir.ops import DepthwiseConv2D, Pool2D
+from repro.partition.direction import PartitionDirection
+from repro.partition.slicer import spatial_halo_rows
+
+#: h2 fires when weights outweigh the input tensor by this factor.
+H2_WEIGHT_TO_INPUT_RATIO = 1.0
+
+#: h5 fires when per-boundary halo exceeds this fraction of a core's
+#: input share.
+H5_HALO_TO_SHARE_RATIO = 0.5
+
+ALL_HEURISTICS: FrozenSet[str] = frozenset({"h2", "h3", "h4", "h5"})
+
+
+@dataclasses.dataclass(frozen=True)
+class DirectionChoice:
+    """A partitioning direction plus the heuristic that selected it."""
+
+    direction: PartitionDirection
+    reason: str
+
+
+def spatial_feasible(layer: Layer, npu: NPUConfig) -> bool:
+    """Can the output height give every core at least one aligned slice?"""
+    if not layer.op.supports_spatial_partition:
+        return False
+    align = max(c.spatial_alignment for c in npu.cores)
+    return layer.output_shape.h >= npu.num_cores * align
+
+
+def channel_feasible(layer: Layer, npu: NPUConfig) -> bool:
+    """Can the output channels occupy more than one core after alignment?"""
+    if not layer.op.supports_channel_partition:
+        return False
+    align = max(c.channel_alignment for c in npu.cores)
+    return layer.output_shape.c >= 2 * align
+
+
+def choose_direction(
+    layer: Layer,
+    npu: NPUConfig,
+    enabled: FrozenSet[str] = ALL_HEURISTICS,
+) -> DirectionChoice:
+    """Pick a partitioning direction for ``layer`` on ``npu``.
+
+    ``enabled`` switches individual heuristics off for ablation studies;
+    *h1* (the spatial default) is always active.
+    """
+    if npu.num_cores == 1:
+        return DirectionChoice(PartitionDirection.NONE, "single-core")
+
+    can_spatial = spatial_feasible(layer, npu)
+    can_channel = channel_feasible(layer, npu)
+
+    if not can_spatial and not can_channel:
+        return DirectionChoice(PartitionDirection.NONE, "infeasible")
+    if not can_spatial:
+        return DirectionChoice(PartitionDirection.CHANNEL, "op-constraint")
+    if not can_channel:
+        return DirectionChoice(PartitionDirection.SPATIAL, "op-constraint")
+
+    # h4 (operation type): channel-wise windowed ops split cleanly along
+    # channels -- no halo, no replication of anything.
+    if "h4" in enabled and isinstance(layer.op, (DepthwiseConv2D, Pool2D)):
+        return DirectionChoice(PartitionDirection.CHANNEL, "h4")
+
+    # h3 (data shape): a shallow image cannot feed all cores spatially.
+    if "h3" in enabled:
+        align = max(c.spatial_alignment for c in npu.cores)
+        min_useful_rows = 2 * align
+        if layer.output_shape.h < npu.num_cores * min_useful_rows:
+            return DirectionChoice(PartitionDirection.CHANNEL, "h3")
+
+    # h2 (data reuse): replicating huge kernels costs more than
+    # replicating the input.
+    if "h2" in enabled:
+        weight_bytes = layer.weight_bytes()
+        input_bytes = sum(
+            s.size_bytes(layer.dtype) for s in layer.input_shapes
+        )
+        if weight_bytes > H2_WEIGHT_TO_INPUT_RATIO * input_bytes > 0:
+            return DirectionChoice(PartitionDirection.CHANNEL, "h2")
+
+    # h5 (data exchange): oversized halos (large kernel / dilation) make
+    # spatial exchange too expensive.
+    if "h5" in enabled:
+        halo_rows = spatial_halo_rows(layer)
+        if halo_rows > 0 and layer.input_shapes:
+            ishape = layer.input_shapes[0]
+            halo_bytes = halo_rows * ishape.w * ishape.c * layer.dtype.size_bytes
+            share_bytes = ishape.size_bytes(layer.dtype) / npu.num_cores
+            if halo_bytes > H5_HALO_TO_SHARE_RATIO * share_bytes:
+                return DirectionChoice(PartitionDirection.CHANNEL, "h5")
+
+    # h1: spatial by default.
+    return DirectionChoice(PartitionDirection.SPATIAL, "h1")

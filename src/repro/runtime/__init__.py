@@ -1,0 +1,25 @@
+"""Functional semantics: reference executor and compiled-model oracle."""
+
+from repro.runtime.functional import (
+    FunctionalReport,
+    LocalityViolation,
+    ResultMismatch,
+    run_compiled_functional,
+)
+from repro.runtime.reference import (
+    apply_layer,
+    run_reference,
+    synth_input,
+    synth_weights,
+)
+
+__all__ = [
+    "FunctionalReport",
+    "LocalityViolation",
+    "ResultMismatch",
+    "apply_layer",
+    "run_compiled_functional",
+    "run_reference",
+    "synth_input",
+    "synth_weights",
+]

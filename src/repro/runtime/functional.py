@@ -1,0 +1,281 @@
+"""Functional execution of a *compiled* model -- the semantics oracle.
+
+``run_compiled_functional`` executes a CompiledModel's dataflow on real
+NumPy tensors while enforcing the locality rules the compiler claims:
+
+* a ``FORWARD`` input may touch only the producer slice resident on the
+  same core;
+* a ``FORWARD_HALO`` input may additionally touch exactly the pieces the
+  halo-exchange delivers from peer cores;
+* a ``GLOBAL`` input reads only data that was actually stored to global
+  memory.
+
+Each sub-layer computes its (possibly inflated) output region from those
+slices alone, embedded at the correct global coordinates so padding
+semantics are exact.  The assembled results must match the whole-tensor
+reference bit-for-bit; any partitioning, halo, stratum-inflation or
+forwarding bug surfaces as a mismatch or a locality violation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.compiler.allocator import InputMode
+from repro.compiler.compiler import CompiledModel
+from repro.ir.graph import Layer
+from repro.ir.tensor import Region
+from repro.runtime.reference import (
+    apply_layer,
+    run_reference,
+    synth_input,
+    synth_weights,
+)
+
+
+class LocalityViolation(AssertionError):
+    """A sub-layer tried to read data its core does not legitimately hold."""
+
+
+class ResultMismatch(AssertionError):
+    """Partitioned execution disagreed with the whole-tensor reference."""
+
+
+@dataclasses.dataclass
+class FunctionalReport:
+    """Summary of one functional validation run."""
+
+    layers_checked: int
+    sub_layers_executed: int
+    forwarded_reads: int
+    halo_reads: int
+    global_reads: int
+    max_abs_error: float
+
+
+def _embed(
+    canvas: np.ndarray, data: np.ndarray, region: Region
+) -> None:
+    canvas[region.as_slices()] = data
+
+
+def run_compiled_functional(
+    compiled: CompiledModel,
+    inputs: Optional[Dict[str, np.ndarray]] = None,
+    seed: int = 0,
+    atol: float = 1e-9,
+) -> FunctionalReport:
+    """Execute the compiled dataflow and compare with the reference."""
+    graph = compiled.graph
+    npu = compiled.npu
+    forwarding = compiled.forwarding
+    exec_regions = compiled.exec_regions
+
+    reference = run_reference(graph, inputs, seed)
+
+    # Global memory: layer -> (array, written-mask).
+    global_mem: Dict[str, np.ndarray] = {}
+    global_written: Dict[str, np.ndarray] = {}
+    # Per-core resident outputs: (core, layer) -> (region, slice array).
+    resident: Dict[Tuple[int, str], Tuple[Region, np.ndarray]] = {}
+    # All computed slices (for halo sourcing): (layer, core) -> (region, arr).
+    computed: Dict[Tuple[str, int], Tuple[Region, np.ndarray]] = {}
+
+    for layer in graph.inputs():
+        data = reference[layer.name]
+        global_mem[layer.name] = data
+        global_written[layer.name] = np.ones(data.shape, dtype=bool)
+
+    stats = FunctionalReport(0, 0, 0, 0, 0, 0.0)
+
+    for name in compiled.schedule:
+        layer = graph.layer(name)
+        if layer.is_input:
+            continue
+        weights = synth_weights(layer, seed)
+        stats.layers_checked += 1
+        for core in range(npu.num_cores):
+            out_region = exec_regions[name][core]
+            if out_region.is_empty:
+                continue
+            stats.sub_layers_executed += 1
+            canvases = []
+            for k in range(len(layer.inputs)):
+                canvases.append(
+                    _gather_input(
+                        compiled, layer, k, core, out_region,
+                        global_mem, resident, computed, stats,
+                    )
+                )
+            full_out = apply_layer(layer, canvases, weights)
+            out_slice = full_out[out_region.as_slices()]
+
+            ref_slice = reference[name][out_region.as_slices()]
+            err = float(np.max(np.abs(out_slice - ref_slice))) if out_slice.size else 0.0
+            stats.max_abs_error = max(stats.max_abs_error, err)
+            if err > atol:
+                raise ResultMismatch(
+                    f"layer {name!r} core {core}: max |err| = {err:g} "
+                    f"over region {out_region}"
+                )
+
+            computed[(name, core)] = (out_region, out_slice)
+            resident[(core, name)] = (out_region, out_slice)
+            if forwarding.stores.get(name, False):
+                if name not in global_mem:
+                    shape = layer.output_shape.as_tuple()
+                    global_mem[name] = np.zeros(shape, dtype=np.float64)
+                    global_written[name] = np.zeros(shape, dtype=bool)
+                # Stratum bottoms store their original partition share, not
+                # the inflated region; use the partition region for stores.
+                store_region = compiled.partition.partition(name).out_regions()[core]
+                if store_region.is_empty:
+                    continue
+                rel = store_region.as_slices()
+                global_mem[name][rel] = full_out[rel]
+                global_written[name][rel] = True
+
+    # Every stored layer must have been fully written.
+    for lname, mask in global_written.items():
+        if not bool(mask.all()):
+            raise ResultMismatch(f"stored layer {lname!r} has unwritten elements")
+
+    return stats
+
+
+def _gather_input(
+    compiled: CompiledModel,
+    layer: Layer,
+    input_index: int,
+    core: int,
+    out_region: Region,
+    global_mem: Dict[str, np.ndarray],
+    resident: Dict[Tuple[int, str], Tuple[Region, np.ndarray]],
+    computed: Dict[Tuple[str, int], Tuple[Region, np.ndarray]],
+    stats: FunctionalReport,
+) -> np.ndarray:
+    """Build the zero-embedded full-geometry canvas for one input."""
+    producer_name = layer.inputs[input_index]
+    producer = compiled.graph.layer(producer_name)
+    needed = layer.input_region(out_region, input_index)
+    ishape = layer.input_shapes[input_index]
+    canvas = np.zeros(ishape.as_tuple(), dtype=np.float64)
+    decision = compiled.forwarding.decision(layer.name, input_index)
+    mode = decision.mode if decision is not None else InputMode.GLOBAL
+
+    if mode is InputMode.GLOBAL:
+        stats.global_reads += 1
+        if producer_name not in global_mem:
+            raise LocalityViolation(
+                f"{layer.name} reads {producer_name} from global memory, "
+                f"but it was never stored"
+            )
+        if not producer.is_input and not compiled.forwarding.stores.get(
+            producer_name, False
+        ):
+            raise LocalityViolation(
+                f"{layer.name} reads {producer_name} from global memory, "
+                f"but the compiler says it does not store"
+            )
+        _embed(canvas, global_mem[producer_name][needed.as_slices()], needed)
+        return canvas
+
+    if mode is InputMode.GLOBAL_HALO:
+        stats.halo_reads += 1
+        if not compiled.forwarding.stores.get(producer_name, False):
+            raise LocalityViolation(
+                f"{layer.name} GLOBAL_HALO-reads {producer_name}, "
+                f"which does not store"
+            )
+        own_region = compiled.exec_regions[producer_name][core]
+        local_part = needed.intersect(own_region)
+        if not local_part.is_empty:
+            _embed(
+                canvas, global_mem[producer_name][local_part.as_slices()], local_part
+            )
+        covered = local_part.num_elements
+        covered += _gather_halo_pieces(
+            compiled, producer_name, decision.pieces[core], core, computed, canvas
+        )
+        if covered < needed.num_elements:
+            raise LocalityViolation(
+                f"{layer.name} core {core}: GLOBAL_HALO covers {covered} of "
+                f"{needed.num_elements} elements of {producer_name}"
+            )
+        return canvas
+
+    # Forwarded: the local resident slice.
+    key = (core, producer_name)
+    if key not in resident:
+        raise LocalityViolation(
+            f"{layer.name} core {core} forwards from {producer_name}, "
+            f"which is not resident"
+        )
+    local_region, local_data = resident[key]
+    local_part = needed.intersect(local_region)
+    if not local_part.is_empty:
+        rel = Region(
+            local_part.rows.shift(-local_region.rows.start),
+            local_part.cols.shift(-local_region.cols.start),
+            local_part.chans.shift(-local_region.chans.start),
+        )
+        _embed(canvas, local_data[rel.as_slices()], local_part)
+
+    if mode is InputMode.FORWARD:
+        stats.forwarded_reads += 1
+        if not local_region.contains(needed):
+            raise LocalityViolation(
+                f"{layer.name} core {core}: FORWARD input needs {needed} "
+                f"but only {local_region} is resident"
+            )
+        return canvas
+
+    # FORWARD_HALO: remote pieces come from peer cores' computed slices.
+    stats.halo_reads += 1
+    covered = local_part.num_elements
+    covered += _gather_halo_pieces(
+        compiled, producer_name, decision.pieces[core], core, computed, canvas
+    )
+    if covered < needed.num_elements:
+        raise LocalityViolation(
+            f"{layer.name} core {core}: halo pieces cover {covered} of "
+            f"{needed.num_elements} needed elements of {producer_name}"
+        )
+    return canvas
+
+
+def _gather_halo_pieces(
+    compiled: CompiledModel,
+    producer_name: str,
+    pieces: Tuple[Region, ...],
+    core: int,
+    computed: Dict[Tuple[str, int], Tuple[Region, np.ndarray]],
+    canvas: np.ndarray,
+) -> int:
+    """Embed remote halo pieces into the canvas; returns elements covered."""
+    covered = 0
+    for j, piece in enumerate(pieces):
+        if j == core or piece.is_empty:
+            continue
+        peer_key = (producer_name, j)
+        if peer_key not in computed:
+            raise LocalityViolation(
+                f"halo piece {piece} of {producer_name} expected from core {j}, "
+                f"which computed nothing"
+            )
+        peer_region, peer_data = computed[peer_key]
+        if not peer_region.contains(piece):
+            raise LocalityViolation(
+                f"halo piece {piece} is not inside core {j}'s region {peer_region}"
+            )
+        rel = Region(
+            piece.rows.shift(-peer_region.rows.start),
+            piece.cols.shift(-peer_region.cols.start),
+            piece.chans.shift(-peer_region.chans.start),
+        )
+        _embed(canvas, peer_data[rel.as_slices()], piece)
+        covered += piece.num_elements
+    return covered

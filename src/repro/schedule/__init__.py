@@ -1,0 +1,31 @@
+"""Scheduling: layer order (Alg. 1), strata (Alg. 2), and tiling."""
+
+from repro.schedule.layer_order import schedule_layers
+from repro.schedule.stratum import (
+    Stratum,
+    StratumEntry,
+    StratumPlan,
+    build_strata,
+)
+from repro.schedule.tiling import (
+    OVERLAP_BENEFIT_THRESHOLD,
+    PIPELINE_TILES,
+    Tile,
+    TilePlan,
+    order_halo_first,
+    plan_tiles,
+)
+
+__all__ = [
+    "OVERLAP_BENEFIT_THRESHOLD",
+    "PIPELINE_TILES",
+    "Stratum",
+    "StratumEntry",
+    "StratumPlan",
+    "Tile",
+    "TilePlan",
+    "build_strata",
+    "order_halo_first",
+    "plan_tiles",
+    "schedule_layers",
+]

@@ -1,0 +1,322 @@
+"""Stratum construction -- Algorithm 2 of the paper (Section 3.1.2).
+
+A *stratum* is a run of consecutively scheduled, spatially partitioned
+layers that executes on every core without any synchronization or global
+memory traffic between its layers: each core computes a slightly inflated
+slice of every intermediate tensor so that all the halo data its own share
+of the *bottom* layer needs is produced locally (Figure 7b).  Walking the
+schedule in reverse, a layer joins the current stratum when
+
+* *h6* -- it is the sole producer of the previously accumulated layer and
+  that layer is its sole consumer (pure producer/consumer adjacency in
+  both the graph and the schedule);
+* *h7* -- both layers are spatially partitioned on every core;
+* *h8* -- the redundant computation the inflation adds is cheaper than
+  the synchronization (plus the store/load round trip) it eliminates.
+
+On a violation the current stratum is sealed (kept only if it has at
+least two layers) and accumulation restarts from the violating layer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cost.compute import compute_cycles
+from repro.cost.memory import aligned_region_bytes, aligned_weight_bytes
+from repro.cost.sync import store_load_roundtrip_cycles, sync_cost_cycles
+from repro.hw.config import NPUConfig
+from repro.ir.graph import Graph, Layer
+from repro.ir.tensor import Region
+from repro.partition.direction import PartitionDirection
+from repro.partition.partitioner import GraphPartition
+
+
+@dataclasses.dataclass(frozen=True)
+class StratumEntry:
+    """One layer inside a stratum, with its per-core inflated regions."""
+
+    layer_name: str
+    #: Output regions each core computes (inflated with successor halo);
+    #: for the bottom layer these equal the original partition regions.
+    out_regions: Tuple[Region, ...]
+    #: Extra MACs per core relative to the original (balanced) partition.
+    redundant_macs: Tuple[int, ...]
+
+    @property
+    def total_redundant_macs(self) -> int:
+        return sum(self.redundant_macs)
+
+
+@dataclasses.dataclass(frozen=True)
+class Stratum:
+    """A maximal sync-free run of layers, stored in schedule order."""
+
+    entries: Tuple[StratumEntry, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.entries) < 2:
+            raise ValueError("a stratum has at least two layers")
+
+    @property
+    def layer_names(self) -> Tuple[str, ...]:
+        return tuple(e.layer_name for e in self.entries)
+
+    @property
+    def top(self) -> StratumEntry:
+        return self.entries[0]
+
+    @property
+    def bottom(self) -> StratumEntry:
+        return self.entries[-1]
+
+    def entry(self, layer_name: str) -> StratumEntry:
+        for e in self.entries:
+            if e.layer_name == layer_name:
+                return e
+        raise KeyError(layer_name)
+
+    @property
+    def total_redundant_macs(self) -> int:
+        return sum(e.total_redundant_macs for e in self.entries)
+
+
+@dataclasses.dataclass
+class StratumPlan:
+    """All strata of a schedule plus a layer -> stratum index."""
+
+    strata: Tuple[Stratum, ...]
+    membership: Dict[str, int]
+
+    def stratum_of(self, layer_name: str) -> Optional[Stratum]:
+        idx = self.membership.get(layer_name)
+        return None if idx is None else self.strata[idx]
+
+    def is_interior(self, layer_name: str) -> bool:
+        """True when the layer is in a stratum but not its bottom layer.
+
+        Interior layers neither store their output to global memory nor
+        synchronize: their results are forwarded in the SPM.
+        """
+        stratum = self.stratum_of(layer_name)
+        return stratum is not None and stratum.bottom.layer_name != layer_name
+
+    @property
+    def num_eliminated_syncs(self) -> int:
+        return sum(len(s.entries) - 1 for s in self.strata)
+
+
+def _all_cores_active(regions: Sequence[Region]) -> bool:
+    return all(not r.is_empty for r in regions)
+
+
+def _inflated_regions(
+    upper: Layer,
+    lower_inflated: Sequence[Region],
+    lower_layer: Layer,
+) -> Tuple[Region, ...]:
+    """Regions of ``upper``'s output each core must compute locally.
+
+    ``upper`` is the single producer of ``lower_layer``; each core needs
+    exactly the input window of its (already inflated) share of the lower
+    layer.
+    """
+    needed = []
+    for region in lower_inflated:
+        if region.is_empty:
+            needed.append(region)
+        else:
+            needed.append(lower_layer.input_region(region, 0))
+    return tuple(needed)
+
+
+def _stratum_spm_feasible(
+    graph: Graph,
+    chain: Sequence["StratumEntry"],
+    candidate: Layer,
+    candidate_regions: Sequence[Region],
+    npu: NPUConfig,
+) -> bool:
+    """Fused-tile feasibility of the stratum ``candidate + chain``.
+
+    A stratum executes tile-interleaved within each core (the paper's
+    "pipelining with tiling will have a chance to reduce the required
+    local memory"): tiles of the top layer stream in, flow through every
+    layer's compute, and the bottom layer's tiles stream out.  The SPM
+    must then hold *all* stratum layers' weights (their tiles interleave)
+    plus a ring of roughly two tiles of every intermediate tensor plus
+    the streamed top input.  Feasibility: there exists a per-core tile
+    count ``n`` (bounded by the shallowest layer's row capacity) with
+
+        sum(weights) + 2 * (top_input + sum(outputs)) / n  <=  SPM.
+    """
+    for core_index in range(npu.num_cores):
+        core = npu.core(core_index)
+        weights_total = 0
+        streams_total = 0
+        cap = None
+
+        def add_layer(layer: Layer, region: Region) -> None:
+            nonlocal weights_total, streams_total, cap
+            w = layer.op.weight_elements_for_output(region, layer.output_shape)
+            weights_total += aligned_weight_bytes(w, layer.dtype, core)
+            streams_total += aligned_region_bytes(region, layer.dtype, core)
+            layer_cap = max(1, region.rows.length // (2 * core.spatial_alignment))
+            cap = layer_cap if cap is None else min(cap, layer_cap)
+
+        candidate_region = candidate_regions[core_index]
+        if candidate_region.is_empty:
+            continue
+        add_layer(candidate, candidate_region)
+        # The candidate is the new top: its input streams from global.
+        for i in range(len(candidate.inputs)):
+            in_region = candidate.input_region(candidate_region, i)
+            streams_total += aligned_region_bytes(in_region, candidate.dtype, core)
+        for entry in chain:
+            add_layer(graph.layer(entry.layer_name), entry.out_regions[core_index])
+
+        if cap is None:
+            continue
+        # cap == 1 simply means no tiling headroom: the whole working set
+        # must then fit untiled.
+        if weights_total + 2 * streams_total / cap > core.spm_bytes:
+            return False
+    return True
+
+
+def _redundant_macs(
+    layer: Layer,
+    inflated: Sequence[Region],
+    original: Sequence[Region],
+) -> Tuple[int, ...]:
+    extra = []
+    for inf_region, orig_region in zip(inflated, original):
+        inf_macs = 0 if inf_region.is_empty else layer.macs(inf_region)
+        orig_macs = 0 if orig_region.is_empty else layer.macs(orig_region)
+        extra.append(max(0, inf_macs - orig_macs))
+    return tuple(extra)
+
+
+def build_strata(
+    graph: Graph,
+    partition: GraphPartition,
+    schedule: Sequence[str],
+    npu: NPUConfig,
+    include_roundtrip_gain: bool = True,
+) -> StratumPlan:
+    """Algorithm 2: accumulate strata over the reverse schedule.
+
+    ``include_roundtrip_gain`` controls whether the eliminated store/load
+    round trip counts toward the h8 gain (the paper's profiled sync cost
+    includes the exposed memory path; disabling it makes h8 compare
+    against the bare barrier cost only -- useful for ablations).
+    """
+    strata: List[Stratum] = []
+    membership: Dict[str, int] = {}
+
+    def seal(chain: List[StratumEntry]) -> None:
+        if len(chain) > 1:
+            strata.append(Stratum(entries=tuple(chain)))
+
+    if not schedule:
+        return StratumPlan(strata=(), membership={})
+
+    # The chain is kept in schedule order: chain[0] is the earliest
+    # (topmost after further accumulation), chain[-1] the stratum bottom.
+    last_name = schedule[-1]
+    chain: List[StratumEntry] = [
+        StratumEntry(
+            layer_name=last_name,
+            out_regions=partition.partition(last_name).out_regions(),
+            redundant_macs=tuple(0 for _ in range(npu.num_cores)),
+        )
+    ]
+
+    for name in reversed(schedule[:-1]):
+        layer = graph.layer(name)
+        head = chain[0]
+        head_layer = graph.layer(head.layer_name)
+        accumulated = False
+
+        if _can_extend(graph, partition, layer, head_layer):
+            inflated = _inflated_regions(layer, head.out_regions, head_layer)
+            original = partition.partition(name).out_regions()
+            if _all_cores_active(inflated) and _stratum_spm_feasible(
+                graph, chain, layer, inflated, npu
+            ):
+                redundant = _redundant_macs(layer, inflated, original)
+                if _h8_accepts(
+                    layer, redundant, original, npu, include_roundtrip_gain
+                ):
+                    chain.insert(
+                        0,
+                        StratumEntry(
+                            layer_name=name,
+                            out_regions=inflated,
+                            redundant_macs=redundant,
+                        ),
+                    )
+                    accumulated = True
+
+        if not accumulated:
+            seal(chain)
+            chain = [
+                StratumEntry(
+                    layer_name=name,
+                    out_regions=partition.partition(name).out_regions(),
+                    redundant_macs=tuple(0 for _ in range(npu.num_cores)),
+                )
+            ]
+
+    seal(chain)
+
+    for idx, stratum in enumerate(strata):
+        for entry in stratum.entries:
+            membership[entry.layer_name] = idx
+    return StratumPlan(strata=tuple(strata), membership=membership)
+
+
+def _can_extend(
+    graph: Graph,
+    partition: GraphPartition,
+    upper: Layer,
+    lower: Layer,
+) -> bool:
+    """h6 + h7 preconditions for ``upper`` feeding ``lower`` sync-free."""
+    # h6: pure producer/consumer adjacency.
+    if graph.consumers(upper.name) != [lower.name]:
+        return False
+    if list(lower.inputs) != [upper.name]:
+        return False
+    if upper.is_input:
+        # The network input is not computed; nothing to fuse.
+        return False
+    # h7: matching spatial partitioning on both sides.
+    if partition.direction(upper.name) is not PartitionDirection.SPATIAL:
+        return False
+    if partition.direction(lower.name) is not PartitionDirection.SPATIAL:
+        return False
+    if not _all_cores_active(partition.partition(upper.name).out_regions()):
+        return False
+    return True
+
+
+def _h8_accepts(
+    layer: Layer,
+    redundant_macs: Sequence[int],
+    original_regions: Sequence[Region],
+    npu: NPUConfig,
+    include_roundtrip_gain: bool,
+) -> bool:
+    """h8: redundant compute must undercut the eliminated sync path."""
+    worst_extra = 0.0
+    for core_index, macs in enumerate(redundant_macs):
+        core = npu.core(core_index)
+        worst_extra = max(
+            worst_extra, compute_cycles(macs, core, include_launch=False)
+        )
+    gain = sync_cost_cycles(npu)
+    if include_roundtrip_gain:
+        gain += store_load_roundtrip_cycles(layer, original_regions, npu)
+    return worst_extra < gain

@@ -1,0 +1,42 @@
+"""Discrete-event simulator for multicore NPUs."""
+
+from repro.sim.bus import FluidBus
+from repro.sim.energy import EnergyModel, EnergyReport, compare_energy, estimate_energy
+from repro.sim.multitenant import (
+    ConcurrentResult,
+    auto_assign,
+    Tenant,
+    TenantResult,
+    merge_programs,
+    run_concurrent,
+    sub_machine,
+)
+from repro.sim.simulator import SimResult, simulate
+from repro.sim.throughput import ThroughputResult, measure_throughput, repeat_program
+from repro.sim.stats import CoreStats, RunStats, collect_stats
+from repro.sim.trace import Trace, TraceEvent
+
+__all__ = [
+    "CoreStats",
+    "EnergyModel",
+    "EnergyReport",
+    "compare_energy",
+    "estimate_energy",
+    "ConcurrentResult",
+    "auto_assign",
+    "FluidBus",
+    "Tenant",
+    "TenantResult",
+    "ThroughputResult",
+    "measure_throughput",
+    "repeat_program",
+    "merge_programs",
+    "run_concurrent",
+    "sub_machine",
+    "RunStats",
+    "SimResult",
+    "Trace",
+    "TraceEvent",
+    "collect_stats",
+    "simulate",
+]

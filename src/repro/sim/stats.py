@@ -1,0 +1,163 @@
+"""Aggregated statistics over a simulation trace.
+
+These are the exact counters the paper's tables report: per-core data
+transfer between global and local memory (Table 4), per-core idle time
+(Table 4), end-to-end latency and computation amount and synchronization
+overhead (Table 5, Figure 11).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler.program import CommandKind, Engine
+from repro.hw.config import NPUConfig
+from repro.sim.trace import Trace
+
+_TRANSFER_KINDS = (
+    CommandKind.LOAD_INPUT,
+    CommandKind.LOAD_WEIGHT,
+    CommandKind.STORE_OUTPUT,
+    CommandKind.HALO_SEND,
+    CommandKind.HALO_RECV,
+)
+
+
+def _mean(xs: List[float]) -> float:
+    return sum(xs) / len(xs) if xs else 0.0
+
+
+def _stdev(xs: List[float]) -> float:
+    if len(xs) < 2:
+        return 0.0
+    mu = _mean(xs)
+    return math.sqrt(sum((x - mu) ** 2 for x in xs) / len(xs))
+
+
+@dataclasses.dataclass(frozen=True)
+class CoreStats:
+    """Per-core aggregates over one run."""
+
+    core: int
+    transfer_bytes: int
+    bytes_by_kind: Dict[CommandKind, int]
+    compute_cycles: float
+    busy_cycles: float
+    idle_cycles: float
+    sync_wait_cycles: float
+    macs: int
+
+    @property
+    def transfer_kb(self) -> float:
+        return self.transfer_bytes / 1024.0
+
+
+@dataclasses.dataclass(frozen=True)
+class RunStats:
+    """Whole-run aggregates (plus per-core breakdowns)."""
+
+    makespan_cycles: float
+    latency_us: float
+    cores: Tuple[CoreStats, ...]
+    total_macs: int
+    num_barriers: int
+    num_halo_exchanges: int
+    #: per (barrier event) exposed overhead samples, in cycles.
+    sync_overhead_samples: Tuple[float, ...]
+
+    @property
+    def total_transfer_bytes(self) -> int:
+        return sum(c.transfer_bytes for c in self.cores)
+
+    @property
+    def performance(self) -> float:
+        """The paper's Figure 11 metric: 1 / latency."""
+        return 1.0 / self.latency_us if self.latency_us > 0 else 0.0
+
+    @property
+    def sync_overhead_mean_us(self) -> float:
+        return self._cycles_to_us(_mean(list(self.sync_overhead_samples)))
+
+    @property
+    def sync_overhead_std_us(self) -> float:
+        return self._cycles_to_us(_stdev(list(self.sync_overhead_samples)))
+
+    @property
+    def idle_mean_us(self) -> float:
+        return self._cycles_to_us(_mean([c.idle_cycles for c in self.cores]))
+
+    @property
+    def idle_std_us(self) -> float:
+        return self._cycles_to_us(_stdev([c.idle_cycles for c in self.cores]))
+
+    @property
+    def transfer_mean_kb(self) -> float:
+        return _mean([c.transfer_kb for c in self.cores])
+
+    @property
+    def transfer_std_kb(self) -> float:
+        return _stdev([c.transfer_kb for c in self.cores])
+
+    def _cycles_to_us(self, cycles: float) -> float:
+        if self.makespan_cycles <= 0 or self.latency_us <= 0:
+            return 0.0
+        return cycles * (self.latency_us / self.makespan_cycles)
+
+
+def collect_stats(trace: Trace, npu: NPUConfig) -> RunStats:
+    """Aggregate a trace into :class:`RunStats`."""
+    makespan = trace.makespan
+    cores: List[CoreStats] = []
+    for core in range(npu.num_cores):
+        events = trace.for_core(core)
+        bytes_by_kind: Dict[CommandKind, int] = {}
+        transfer = 0
+        macs = 0
+        sync_wait = 0.0
+        for e in events:
+            if e.kind in _TRANSFER_KINDS:
+                bytes_by_kind[e.kind] = bytes_by_kind.get(e.kind, 0) + e.num_bytes
+                transfer += e.num_bytes
+            macs += e.macs
+            if e.kind in (CommandKind.BARRIER, CommandKind.HALO_RECV):
+                sync_wait += e.remote_wait
+                if e.kind is CommandKind.BARRIER:
+                    sync_wait += e.duration
+        busy = trace.busy_time(core)
+        compute_busy = trace.busy_time(core, Engine.COMPUTE)
+        cores.append(
+            CoreStats(
+                core=core,
+                transfer_bytes=transfer,
+                bytes_by_kind=bytes_by_kind,
+                compute_cycles=compute_busy,
+                busy_cycles=busy,
+                idle_cycles=max(0.0, makespan - busy),
+                sync_wait_cycles=sync_wait,
+                macs=macs,
+            )
+        )
+
+    sync_samples: List[float] = []
+    for e in trace.events:
+        if e.kind is CommandKind.BARRIER:
+            sync_samples.append(e.remote_wait + e.duration)
+        elif e.kind is CommandKind.HALO_RECV:
+            sync_samples.append(e.remote_wait)
+
+    num_barriers = (
+        len(trace.of_kind(CommandKind.BARRIER)) // npu.num_cores
+        if npu.num_cores
+        else 0
+    )
+    return RunStats(
+        makespan_cycles=makespan,
+        latency_us=npu.cycles_to_us(makespan),
+        cores=tuple(cores),
+        total_macs=sum(c.macs for c in cores),
+        num_barriers=num_barriers,
+        num_halo_exchanges=len(trace.of_kind(CommandKind.HALO_RECV)),
+        sync_overhead_samples=tuple(sync_samples),
+    )

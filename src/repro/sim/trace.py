@@ -1,0 +1,90 @@
+"""Execution traces: what ran where, when, and what it waited for."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Optional, Tuple
+
+from repro.compiler.program import CommandKind, Engine
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """The simulated lifetime of one command.
+
+    ``own_ready`` is when the command could have started based only on
+    its own core (engine free and same-core dependencies done); the gap
+    to ``start`` is therefore time spent waiting on *other* cores -- the
+    exposed synchronization cost.
+    """
+
+    cid: int
+    core: int
+    engine: Engine
+    kind: CommandKind
+    layer: str
+    tag: str
+    num_bytes: int
+    macs: int
+    start: float
+    end: float
+    own_ready: float
+    dep_ready: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def remote_wait(self) -> float:
+        """Cycles stalled waiting for other cores before starting."""
+        return max(0.0, self.start - self.own_ready)
+
+
+@dataclasses.dataclass
+class Trace:
+    """All events of one simulated inference, in completion order."""
+
+    events: List[TraceEvent]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def makespan(self) -> float:
+        return max((e.end for e in self.events), default=0.0)
+
+    def for_core(self, core: int) -> List[TraceEvent]:
+        return [e for e in self.events if e.core == core]
+
+    def for_layer(self, layer: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.layer == layer]
+
+    def for_layers(self, layers: Iterable[str]) -> List[TraceEvent]:
+        wanted = set(layers)
+        return [e for e in self.events if e.layer in wanted]
+
+    def of_kind(self, kind: CommandKind) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind is kind]
+
+    def busy_intervals(
+        self, core: int, engine: Optional[Engine] = None
+    ) -> List[Tuple[float, float]]:
+        """Merged busy intervals of a core (optionally one engine)."""
+        spans = sorted(
+            (e.start, e.end)
+            for e in self.events
+            if e.core == core
+            and (engine is None or e.engine is engine)
+            and e.end > e.start
+        )
+        merged: List[Tuple[float, float]] = []
+        for start, end in spans:
+            if merged and start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((start, end))
+        return merged
+
+    def busy_time(self, core: int, engine: Optional[Engine] = None) -> float:
+        return sum(end - start for start, end in self.busy_intervals(core, engine))

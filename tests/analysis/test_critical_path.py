@@ -1,0 +1,94 @@
+"""Critical-path extraction."""
+
+import pytest
+
+from repro.analysis import critical_path, render_critical_path
+from repro.compiler import CompileOptions, CommandKind, compile_model
+from repro.compiler.program import ProgramBuilder
+from repro.hw import tiny_test_machine
+from repro.sim import simulate
+
+from tests.conftest import make_mixed_graph
+
+
+class TestHandBuiltChains:
+    def test_serial_chain_is_the_path(self):
+        npu = tiny_test_machine(1)
+        b = ProgramBuilder(1)
+        ld = b.add(0, CommandKind.LOAD_INPUT, num_bytes=80)
+        cp = b.add(0, CommandKind.COMPUTE, deps=[ld], macs=640)
+        st = b.add(0, CommandKind.STORE_OUTPUT, deps=[cp], num_bytes=80)
+        program = b.build()
+        trace = simulate(program, npu).trace
+        path = critical_path(program, trace)
+        cids = [seg.event.cid for seg in path.segments]
+        assert cids == [st, cp, ld]
+        assert [seg.bound_by for seg in path.segments] == ["dep", "dep", "ready"]
+
+    def test_slow_core_dominates(self):
+        npu = tiny_test_machine(2)
+        b = ProgramBuilder(2)
+        b.add(0, CommandKind.COMPUTE, macs=100)
+        slow = b.add(1, CommandKind.COMPUTE, macs=100_000)
+        program = b.build()
+        trace = simulate(program, npu).trace
+        path = critical_path(program, trace)
+        assert path.segments[0].event.cid == slow
+        assert all(seg.event.core == 1 for seg in path.segments)
+
+    def test_engine_serialization_detected(self):
+        npu = tiny_test_machine(1)
+        b = ProgramBuilder(1)
+        b.add(0, CommandKind.COMPUTE, macs=640)
+        tail = b.add(0, CommandKind.COMPUTE, macs=640)
+        program = b.build()
+        trace = simulate(program, npu).trace
+        path = critical_path(program, trace)
+        assert path.segments[0].event.cid == tail
+        assert path.segments[0].bound_by == "engine"
+
+    def test_empty_trace(self):
+        npu = tiny_test_machine(1)
+        program = ProgramBuilder(1).build()
+        trace = simulate(program, npu).trace
+        path = critical_path(program, trace)
+        assert path.segments == []
+        assert path.makespan_cycles == 0.0
+
+
+class TestRealPrograms:
+    @pytest.fixture(scope="class")
+    def run(self):
+        npu = tiny_test_machine(3)
+        compiled = compile_model(make_mixed_graph(), npu, CompileOptions.base())
+        return npu, compiled, simulate(compiled.program, npu)
+
+    def test_path_starts_at_makespan(self, run):
+        npu, compiled, sim = run
+        path = critical_path(compiled.program, sim.trace)
+        assert path.segments[0].event.end == pytest.approx(sim.trace.makespan)
+
+    def test_path_is_time_monotone(self, run):
+        npu, compiled, sim = run
+        path = critical_path(compiled.program, sim.trace)
+        starts = [seg.event.start for seg in path.segments]
+        assert starts == sorted(starts, reverse=True) or all(
+            a >= b - 1e-6 for a, b in zip(starts, starts[1:])
+        )
+
+    def test_breakdown_covers_makespan(self, run):
+        npu, compiled, sim = run
+        path = critical_path(compiled.program, sim.trace)
+        total = sum(path.breakdown().values())
+        assert total == pytest.approx(path.makespan_cycles, rel=1e-6)
+
+    def test_render(self, run):
+        npu, compiled, sim = run
+        text = render_critical_path(compiled.program, sim.trace, npu)
+        assert "Critical path breakdown" in text
+        assert "Bound by" in text
+
+    def test_layers_listed(self, run):
+        npu, compiled, sim = run
+        path = critical_path(compiled.program, sim.trace)
+        assert path.layers()

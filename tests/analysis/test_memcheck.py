@@ -1,0 +1,85 @@
+"""SPM-budget audit of compiled models."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import audit_spm, peak_spm_per_core
+from repro.compiler import CompileOptions, compile_model
+from repro.hw import tiny_test_machine
+
+from tests.conftest import make_chain_graph, make_mixed_graph
+
+
+def machine(spm_bytes=64 * 1024, cores=2):
+    npu = tiny_test_machine(cores)
+    new = tuple(dataclasses.replace(c, spm_bytes=spm_bytes) for c in npu.cores)
+    return dataclasses.replace(npu, cores=new)
+
+
+class TestAudit:
+    def test_no_violations_on_roomy_machine(self):
+        npu = machine(16 << 20)
+        m = compile_model(make_mixed_graph(), npu, CompileOptions.halo())
+        usages, violations = audit_spm(m)
+        assert usages
+        assert violations == []
+
+    def test_usage_covers_all_active_sublayers(self):
+        npu = machine()
+        m = compile_model(make_chain_graph(), npu, CompileOptions.base())
+        usages, _ = audit_spm(m)
+        active = sum(
+            1
+            for name in m.schedule
+            if not m.graph.layer(name).is_input
+            for core in range(npu.num_cores)
+            if not m.exec_regions[name][core].is_empty
+        )
+        assert len(usages) == active
+
+    def test_components_nonnegative(self):
+        npu = machine()
+        m = compile_model(make_mixed_graph(), npu, CompileOptions.stratum_config())
+        usages, _ = audit_spm(m)
+        for u in usages:
+            assert u.weights >= 0
+            assert u.stream_buffers >= 0
+            assert u.total >= 0
+
+    def test_tolerance_scales(self):
+        npu = machine(4 * 1024)
+        m = compile_model(make_mixed_graph(), npu, CompileOptions.base())
+        _, strict = audit_spm(m, tolerance=1.0)
+        _, loose = audit_spm(m, tolerance=100.0)
+        assert len(loose) <= len(strict)
+        assert loose == []
+
+    def test_violation_str(self):
+        npu = machine()
+        m = compile_model(make_mixed_graph(), npu, CompileOptions.base())
+        usages, _ = audit_spm(m)
+        from repro.analysis.memcheck import SpmViolation
+
+        v = SpmViolation(usage=usages[0], capacity=1)
+        assert "SPM" in str(v)
+
+    def test_peak_per_core(self):
+        npu = machine()
+        m = compile_model(make_mixed_graph(), npu, CompileOptions.base())
+        peaks = peak_spm_per_core(m)
+        assert set(peaks) <= set(range(npu.num_cores))
+        for peak in peaks.values():
+            assert peak > 0
+
+    def test_forwarding_shows_as_resident(self):
+        npu = machine(16 << 20)
+        m = compile_model(make_chain_graph(), npu, CompileOptions.halo())
+        usages, _ = audit_spm(m)
+        assert any(u.resident_inputs > 0 or u.resident_output > 0 for u in usages)
+
+    def test_halo_shows_as_buffers(self):
+        npu = machine(16 << 20)
+        m = compile_model(make_chain_graph(), npu, CompileOptions.halo())
+        usages, _ = audit_spm(m)
+        assert any(u.halo_buffers > 0 for u in usages)

@@ -1,0 +1,126 @@
+"""Forwarding / halo-exchange decisions per consumed edge."""
+
+import dataclasses
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_model
+from repro.compiler.allocator import InputMode
+from repro.hw import tiny_test_machine
+
+from tests.conftest import make_chain_graph, make_mixed_graph
+
+
+def roomy_machine(cores=2):
+    npu = tiny_test_machine(cores)
+    big = tuple(
+        dataclasses.replace(c, spm_bytes=16 * 1024 * 1024) for c in npu.cores
+    )
+    return dataclasses.replace(npu, cores=big)
+
+
+class TestModeProperties:
+    def test_forwarding_flags(self):
+        assert InputMode.FORWARD.is_forwarding
+        assert InputMode.FORWARD_HALO.is_forwarding
+        assert not InputMode.GLOBAL_HALO.is_forwarding
+        assert not InputMode.GLOBAL.is_forwarding
+
+    def test_halo_flags(self):
+        assert InputMode.FORWARD_HALO.uses_halo
+        assert InputMode.GLOBAL_HALO.uses_halo
+        assert not InputMode.FORWARD.uses_halo
+
+    def test_barrier_flags(self):
+        assert InputMode.GLOBAL.needs_barrier
+        assert not InputMode.GLOBAL_HALO.needs_barrier
+        assert not InputMode.FORWARD.needs_barrier
+
+
+class TestBaseDecisions:
+    def test_base_is_all_global(self):
+        g = make_mixed_graph()
+        m = compile_model(g, roomy_machine(), CompileOptions.base())
+        for decision in m.forwarding.decisions.values():
+            assert decision.mode is InputMode.GLOBAL
+
+    def test_base_stores_everything(self):
+        g = make_mixed_graph()
+        m = compile_model(g, roomy_machine(), CompileOptions.base())
+        for layer in g.layers():
+            if not layer.is_input:
+                assert m.forwarding.stores[layer.name]
+
+
+class TestHaloDecisions:
+    def test_adjacent_spatial_pair_forwards_with_halo(self):
+        g = make_chain_graph()
+        m = compile_model(g, roomy_machine(), CompileOptions.halo())
+        d = m.forwarding.decision("c3", 0)
+        assert d.mode is InputMode.FORWARD_HALO
+        assert d.producer == "c2"
+
+    def test_input_layer_edge_stays_global(self):
+        g = make_chain_graph()
+        m = compile_model(g, roomy_machine(), CompileOptions.halo())
+        assert m.forwarding.input_mode("c1", 0) is InputMode.GLOBAL
+
+    def test_spm_pressure_degrades_to_global_halo(self):
+        g = make_chain_graph()
+        npu = tiny_test_machine(2)
+        cramped = dataclasses.replace(
+            npu,
+            cores=tuple(
+                dataclasses.replace(c, spm_bytes=2 * 1024) for c in npu.cores
+            ),
+        )
+        m = compile_model(g, cramped, CompileOptions.halo())
+        d = m.forwarding.decision("c3", 0)
+        # no room to keep c2 resident, but the exchange still applies.
+        assert d.mode is InputMode.GLOBAL_HALO
+
+    def test_forwarded_producer_may_skip_store(self):
+        g = make_chain_graph()
+        m = compile_model(g, roomy_machine(), CompileOptions.halo())
+        # c2's only consumer forwards from it -> no store to global.
+        assert not m.forwarding.stores["c2"]
+        # the network output always stores.
+        assert m.forwarding.stores["c3"]
+
+    def test_pieces_cover_halo(self):
+        g = make_chain_graph()
+        m = compile_model(g, roomy_machine(), CompileOptions.halo())
+        d = m.forwarding.decision("c3", 0)
+        esize = g.layer("c2").dtype.size_bytes
+        # Both cores receive a positive number of boundary bytes.
+        for core in range(2):
+            assert d.recv_bytes(core, esize) > 0
+            assert d.send_bytes(core, esize) > 0
+
+    def test_recv_equals_peer_sends(self):
+        g = make_chain_graph()
+        npu = roomy_machine(3)
+        m = compile_model(g, npu, CompileOptions.halo())
+        d = m.forwarding.decision("c3", 0)
+        esize = 1
+        total_recv = sum(d.recv_bytes(c, esize) for c in range(3))
+        total_send = sum(d.send_bytes(c, esize) for c in range(3))
+        assert total_recv == total_send > 0
+
+
+class TestStratumDecisions:
+    def test_interior_edges_forward(self):
+        g = make_chain_graph()
+        npu = dataclasses.replace(roomy_machine(3), sync_base_cycles=20000)
+        m = compile_model(g, npu, CompileOptions.stratum_config())
+        assert len(m.strata.strata) == 1
+        assert m.forwarding.input_mode("c2", 0) is InputMode.FORWARD
+        assert m.forwarding.input_mode("c3", 0) is InputMode.FORWARD
+
+    def test_interior_layers_do_not_store(self):
+        g = make_chain_graph()
+        npu = dataclasses.replace(roomy_machine(3), sync_base_cycles=20000)
+        m = compile_model(g, npu, CompileOptions.stratum_config())
+        assert not m.forwarding.stores["c1"]
+        assert not m.forwarding.stores["c2"]
+        assert m.forwarding.stores["c3"]

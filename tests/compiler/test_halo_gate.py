@@ -1,0 +1,68 @@
+"""The borderline-fraction gate on halo-exchange.
+
+Halo-exchange carries *boundary* rows; when misaligned partitions would
+make a core fetch a large share of its input remotely (UNet skip-crop
+style), the compiler must fall back to the store-sync-load path instead
+of shipping bulk data through the exchange.
+"""
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_model
+from repro.compiler.allocator import HALO_FRACTION_LIMIT, InputMode
+from repro.hw import tiny_test_machine
+from repro.ir import Conv2D, Crop, Graph, Input, TensorShape, Window2D
+
+
+def aligned_chain():
+    g = Graph("aligned")
+    g.add("in", Input(TensorShape(40, 40, 8)))
+    g.add(
+        "a", Conv2D(out_channels=8, in_channels=8, window=Window2D.square(3)), ["in"]
+    )
+    g.add(
+        "b", Conv2D(out_channels=8, in_channels=8, window=Window2D.square(3)), ["a"]
+    )
+    return g
+
+
+def shifted_chain():
+    """A crop shifts the consumer's window far into the neighbour's rows."""
+    g = Graph("shifted")
+    g.add("in", Input(TensorShape(64, 40, 8)))
+    g.add(
+        "a", Conv2D(out_channels=8, in_channels=8, window=Window2D.square(3)), ["in"]
+    )
+    # central crop of 24 rows: offset 20 -> every core's needed window is
+    # mostly inside a *different* core's partition of 'a'.
+    g.add("crop", Crop(out_h=24, out_w=40), ["a"])
+    return g
+
+
+class TestGate:
+    def test_boundary_halo_allowed(self):
+        g = aligned_chain()
+        npu = tiny_test_machine(2)
+        m = compile_model(g, npu, CompileOptions.halo().without_forwarding())
+        d = m.forwarding.decision("b", 0)
+        assert d.mode is InputMode.GLOBAL_HALO
+
+    def test_bulk_remote_denied(self):
+        g = shifted_chain()
+        npu = tiny_test_machine(2)
+        m = compile_model(g, npu, CompileOptions.halo().without_forwarding())
+        d = m.forwarding.decision("crop", 0)
+        assert d.mode is InputMode.GLOBAL  # falls back to store-sync-load
+
+    def test_limit_is_a_fraction(self):
+        assert 0 < HALO_FRACTION_LIMIT < 1
+
+    def test_denied_edge_still_functionally_exact(self):
+        from repro.runtime import run_compiled_functional
+
+        g = shifted_chain()
+        npu = tiny_test_machine(2)
+        report = run_compiled_functional(
+            compile_model(g, npu, CompileOptions.halo())
+        )
+        assert report.max_abs_error == 0.0

@@ -1,0 +1,55 @@
+"""Compilation option presets (Table 3 configurations)."""
+
+from repro.compiler import CompileOptions
+from repro.partition import PartitionPolicy
+
+
+class TestPresets:
+    def test_base(self):
+        o = CompileOptions.base()
+        assert not o.halo_exchange
+        assert not o.stratum
+        assert not o.feature_map_forwarding
+        assert o.label == "Base"
+
+    def test_halo_is_cumulative(self):
+        o = CompileOptions.halo()
+        assert o.halo_exchange and o.halo_first
+        assert o.feature_map_forwarding
+        assert not o.stratum
+        assert o.label == "+Halo"
+
+    def test_stratum_is_cumulative(self):
+        o = CompileOptions.stratum_config()
+        assert o.halo_exchange and o.halo_first and o.stratum
+        assert o.label == "+Stratum"
+
+    def test_stratum_only(self):
+        o = CompileOptions.stratum_only()
+        assert o.stratum and not o.halo_exchange
+        assert o.label == "+Stratum-only"
+
+    def test_single_core(self):
+        o = CompileOptions.single_core()
+        assert o.partition_policy is PartitionPolicy.SINGLE_CORE
+        assert o.label == "1-core"
+
+    def test_forwarding_toggles(self):
+        o = CompileOptions.halo().without_forwarding()
+        assert not o.feature_map_forwarding
+        assert o.with_forwarding().feature_map_forwarding
+
+    def test_policy_passthrough(self):
+        o = CompileOptions.base(policy=PartitionPolicy.CHANNEL_ONLY)
+        assert o.partition_policy is PartitionPolicy.CHANNEL_ONLY
+
+    def test_frozen(self):
+        import dataclasses
+
+        o = CompileOptions.base()
+        try:
+            o.stratum = True  # type: ignore[misc]
+            raised = False
+        except dataclasses.FrozenInstanceError:
+            raised = True
+        assert raised

@@ -1,0 +1,66 @@
+"""Schedule-strategy option: orders, invariants, functional exactness."""
+
+import dataclasses
+
+import pytest
+
+from repro.compiler import CompileOptions, ScheduleStrategy, compile_model
+from repro.hw import tiny_test_machine
+from repro.ir.traversal import breadth_first_order, depth_first_order
+from repro.runtime import run_compiled_functional
+
+from tests.conftest import make_branchy_graph, make_mixed_graph
+
+
+@pytest.fixture
+def npu():
+    return tiny_test_machine(3)
+
+
+class TestStrategySelection:
+    def test_depth_first_uses_dfs_order(self, npu):
+        g = make_branchy_graph()
+        opts = dataclasses.replace(
+            CompileOptions.base(), schedule_strategy=ScheduleStrategy.DEPTH_FIRST
+        )
+        compiled = compile_model(g, npu, opts)
+        assert compiled.schedule == depth_first_order(g)
+
+    def test_breadth_first_uses_bfs_order(self, npu):
+        g = make_branchy_graph()
+        opts = dataclasses.replace(
+            CompileOptions.base(), schedule_strategy=ScheduleStrategy.BREADTH_FIRST
+        )
+        compiled = compile_model(g, npu, opts)
+        assert compiled.schedule == breadth_first_order(g)
+
+    def test_default_is_algorithm1(self):
+        assert (
+            CompileOptions.base().schedule_strategy is ScheduleStrategy.ALGORITHM1
+        )
+
+
+class TestStrategyTradeoffs:
+    def test_df_forwards_at_least_as_much_as_bf(self, npu):
+        g = make_branchy_graph()
+        results = {}
+        for strategy in (ScheduleStrategy.DEPTH_FIRST, ScheduleStrategy.BREADTH_FIRST):
+            opts = dataclasses.replace(
+                CompileOptions.halo(), schedule_strategy=strategy
+            )
+            results[strategy] = compile_model(g, npu, opts).num_forwarded_edges()
+        assert (
+            results[ScheduleStrategy.DEPTH_FIRST]
+            >= results[ScheduleStrategy.BREADTH_FIRST]
+        )
+
+
+class TestFunctionalExactness:
+    @pytest.mark.parametrize("strategy", list(ScheduleStrategy), ids=str)
+    def test_all_strategies_bit_exact(self, npu, strategy):
+        g = make_mixed_graph()
+        opts = dataclasses.replace(
+            CompileOptions.stratum_config(), schedule_strategy=strategy
+        )
+        report = run_compiled_functional(compile_model(g, npu, opts))
+        assert report.max_abs_error == 0.0

@@ -1,0 +1,171 @@
+"""Cost model: compute cycles, aligned transfers, sync estimators."""
+
+import pytest
+
+from repro.cost import (
+    OP_LAUNCH_CYCLES,
+    align_up,
+    aligned_region_bytes,
+    aligned_weight_bytes,
+    ceil_div,
+    compute_cycles,
+    fits_in_spm,
+    layer_compute_cycles,
+    redundant_compute_cost_cycles,
+    store_load_roundtrip_cycles,
+    sync_cost_cycles,
+    transfer_cycles,
+)
+from repro.hw import tiny_test_machine
+from repro.ir import (
+    Conv2D,
+    DataType,
+    Graph,
+    Input,
+    Interval,
+    Region,
+    TensorShape,
+    Window2D,
+)
+
+
+@pytest.fixture
+def npu():
+    return tiny_test_machine(2)
+
+
+@pytest.fixture
+def conv_layer():
+    g = Graph("g")
+    g.add("in", Input(TensorShape(16, 16, 4)))
+    g.add(
+        "c", Conv2D(out_channels=8, in_channels=4, window=Window2D.square(3)), ["in"]
+    )
+    return g.layer("c")
+
+
+class TestComputeCycles:
+    def test_scales_with_macs(self, npu):
+        core = npu.core(0)
+        a = compute_cycles(6400, core, include_launch=False)
+        b = compute_cycles(12800, core, include_launch=False)
+        assert b == pytest.approx(2 * a)
+
+    def test_launch_overhead(self, npu):
+        core = npu.core(0)
+        with_l = compute_cycles(640, core)
+        without = compute_cycles(640, core, include_launch=False)
+        assert with_l == pytest.approx(without + OP_LAUNCH_CYCLES)
+
+    def test_zero_macs_is_free(self, npu):
+        assert compute_cycles(0, npu.core(0)) == 0.0
+
+    def test_rejects_negative(self, npu):
+        with pytest.raises(ValueError):
+            compute_cycles(-1, npu.core(0))
+
+    def test_layer_compute_cycles(self, npu, conv_layer):
+        region = Region.full(conv_layer.output_shape)
+        expected = compute_cycles(conv_layer.macs(), npu.core(0))
+        assert layer_compute_cycles(conv_layer, region, npu.core(0)) == expected
+
+
+class TestAlignment:
+    def test_align_up(self):
+        assert align_up(0, 16) == 0
+        assert align_up(1, 16) == 16
+        assert align_up(16, 16) == 16
+        assert align_up(17, 16) == 32
+
+    def test_align_up_rejects_bad(self):
+        with pytest.raises(ValueError):
+            align_up(4, 0)
+
+    def test_ceil_div(self):
+        assert ceil_div(7, 3) == 3
+        with pytest.raises(ValueError):
+            ceil_div(7, 0)
+
+    def test_region_bytes_pads_channels(self, npu):
+        core = npu.core(0)  # channel_alignment=4, spatial_alignment=1
+        region = Region(Interval(0, 2), Interval(0, 2), Interval(0, 3))
+        assert (
+            aligned_region_bytes(region, DataType.INT8, core) == 2 * 2 * 4
+        )
+
+    def test_region_bytes_pads_rows(self):
+        npu3 = tiny_test_machine(3)
+        import dataclasses
+
+        core = dataclasses.replace(npu3.core(0), spatial_alignment=4)
+        region = Region(Interval(0, 3), Interval(0, 2), Interval(0, 4))
+        assert aligned_region_bytes(region, DataType.INT8, core) == 4 * 2 * 4
+
+    def test_empty_region_free(self, npu):
+        region = Region(Interval(0, 0), Interval(0, 0), Interval(0, 0))
+        assert aligned_region_bytes(region, DataType.INT8, npu.core(0)) == 0
+
+    def test_dtype_scales(self, npu):
+        core = npu.core(0)
+        region = Region(Interval(0, 2), Interval(0, 2), Interval(0, 4))
+        int8 = aligned_region_bytes(region, DataType.INT8, core)
+        int16 = aligned_region_bytes(region, DataType.INT16, core)
+        assert int16 == 2 * int8
+
+    def test_weight_bytes(self, npu):
+        core = npu.core(0)
+        assert aligned_weight_bytes(0, DataType.INT8, core) == 0
+        assert aligned_weight_bytes(5, DataType.INT8, core) == 8
+        assert aligned_weight_bytes(5, DataType.INT16, core) == 16
+
+
+class TestTransfer:
+    def test_zero_bytes_free(self, npu):
+        assert transfer_cycles(0, npu.core(0), npu) == 0.0
+
+    def test_latency_plus_bandwidth(self, npu):
+        core = npu.core(0)
+        t = transfer_cycles(800, core, npu)
+        rate = min(core.dma_bytes_per_cycle, npu.bus_bytes_per_cycle)
+        assert t == pytest.approx(npu.dram_latency_cycles + 800 / rate)
+
+    def test_capped_by_bus(self, npu):
+        import dataclasses
+
+        fat_core = dataclasses.replace(npu.core(0), dma_bytes_per_cycle=1e9)
+        t = transfer_cycles(1200, fat_core, npu)
+        assert t == pytest.approx(
+            npu.dram_latency_cycles + 1200 / npu.bus_bytes_per_cycle
+        )
+
+    def test_rejects_negative(self, npu):
+        with pytest.raises(ValueError):
+            transfer_cycles(-1, npu.core(0), npu)
+
+    def test_fits_in_spm(self, npu):
+        assert fits_in_spm(npu.core(0).spm_bytes, npu.core(0))
+        assert not fits_in_spm(npu.core(0).spm_bytes + 1, npu.core(0))
+
+
+class TestSyncEstimators:
+    def test_sync_cost_matches_config(self, npu):
+        assert sync_cost_cycles(npu) == npu.sync_cost_cycles()
+
+    def test_roundtrip_is_twice_transfer_of_worst_core(self, npu, conv_layer):
+        shape = conv_layer.output_shape
+        full = Region.full(shape)
+        empty = Region(Interval(0, 0), Interval(0, 0), Interval(0, 0))
+        cost = store_load_roundtrip_cycles(conv_layer, [full, empty], npu)
+        expected = 2 * transfer_cycles(
+            full.size_bytes(conv_layer.dtype), npu.core(0), npu
+        )
+        assert cost == pytest.approx(expected)
+
+    def test_redundant_compute_worst_core(self, npu, conv_layer):
+        cost = redundant_compute_cost_cycles(conv_layer, [1000, 4000], npu)
+        assert cost == pytest.approx(
+            compute_cycles(4000, npu.core(1), include_launch=False)
+        )
+
+    def test_no_redundancy_is_free(self, npu, conv_layer):
+        assert redundant_compute_cost_cycles(conv_layer, [0, 0], npu) == 0.0

@@ -1,0 +1,75 @@
+"""Machine description JSON round-trips."""
+
+import json
+
+import pytest
+
+from repro.hw import (
+    exynos2100_like,
+    load_machine,
+    machine_from_dict,
+    machine_to_dict,
+    save_machine,
+    tiny_test_machine,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "npu", [exynos2100_like(), tiny_test_machine(2)], ids=lambda n: n.name
+    )
+    def test_dict_roundtrip_equal(self, npu):
+        assert machine_from_dict(machine_to_dict(npu)) == npu
+
+    def test_file_roundtrip(self, tmp_path):
+        npu = exynos2100_like()
+        path = save_machine(npu, tmp_path / "m.json")
+        assert load_machine(path) == npu
+
+    def test_json_human_readable(self, tmp_path):
+        path = save_machine(exynos2100_like(), tmp_path / "m.json")
+        doc = json.loads(path.read_text())
+        assert doc["format"] == "repro-machine"
+        assert len(doc["cores"]) == 3
+
+
+class TestValidation:
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ValueError):
+            machine_from_dict({"format": "nope"})
+
+    def test_rejects_wrong_version(self):
+        doc = machine_to_dict(tiny_test_machine(1))
+        doc["version"] = 2
+        with pytest.raises(ValueError):
+            machine_from_dict(doc)
+
+    def test_defaults_fill_missing_fields(self):
+        doc = machine_to_dict(tiny_test_machine(1))
+        del doc["sync_jitter_cycles"]
+        del doc["cores"][0]["compute_efficiency"]
+        npu = machine_from_dict(doc)
+        assert npu.sync_jitter_cycles == 0
+        assert npu.cores[0].compute_efficiency == 0.75
+
+    def test_bad_core_values_rejected(self):
+        doc = machine_to_dict(tiny_test_machine(1))
+        doc["cores"][0]["macs_per_cycle"] = 0
+        with pytest.raises(ValueError):
+            machine_from_dict(doc)
+
+
+class TestCliIntegration:
+    def test_machine_file_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = save_machine(tiny_test_machine(2), tmp_path / "m.json")
+        assert main(["compile", "stem", "--machine", str(path), "--config", "base"]) == 0
+        out = capsys.readouterr().out
+        assert "tiny-2core" in out
+
+    def test_missing_machine_file(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["compile", "stem", "--machine", "/nonexistent/m.json"])

@@ -1,0 +1,219 @@
+"""Compiler fuzzing: random graphs through the full pipeline.
+
+Hypothesis builds random (but valid) DAGs of mixed operators; each is
+compiled under every optimization level and core count, simulated, and
+executed through the functional oracle.  Any slicing, halo, stratum,
+forwarding, banding, or barrier-placement bug in the compiler shows up
+as a locality violation or a numeric mismatch.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import audit_spm
+from repro.compiler import CompileOptions, compile_model
+from repro.hw import tiny_test_machine
+from repro.ir import (
+    Add,
+    Concat,
+    Conv2D,
+    DepthwiseConv2D,
+    Graph,
+    Input,
+    Mul,
+    Padding,
+    Pool2D,
+    PoolKind,
+    TensorShape,
+    Window2D,
+)
+from repro.runtime import run_compiled_functional
+from repro.sim import simulate
+
+
+@st.composite
+def random_graph(draw) -> Graph:
+    g = Graph("fuzz")
+    h = draw(st.sampled_from([12, 17, 24, 33]))
+    c = draw(st.sampled_from([4, 8, 12]))
+    g.add("in", Input(TensorShape(h, h, c)))
+    # open tensors available as inputs, with their shapes.
+    open_tensors = {"in": g.layer("in").output_shape}
+    n_layers = draw(st.integers(2, 8))
+    for i in range(n_layers):
+        name = f"l{i}"
+        src = draw(st.sampled_from(sorted(open_tensors)))
+        shape = open_tensors[src]
+        kind = (
+            "conv"
+            if i == 0  # guarantee at least one computing layer
+            else draw(
+                st.sampled_from(
+                    ["conv", "conv_s2", "dw", "pool", "add", "concat", "mul"]
+                )
+            )
+        )
+        if kind == "conv":
+            out_c = draw(st.sampled_from([4, 8, 16]))
+            kernel = draw(st.sampled_from([1, 3, 5]))
+            g.add(
+                name,
+                Conv2D(
+                    out_channels=out_c,
+                    in_channels=shape.c,
+                    window=Window2D.square(kernel),
+                ),
+                [src],
+            )
+        elif kind == "conv_s2" and shape.h >= 8:
+            out_c = draw(st.sampled_from([4, 8]))
+            g.add(
+                name,
+                Conv2D(
+                    out_channels=out_c,
+                    in_channels=shape.c,
+                    window=Window2D.square(3, stride=2),
+                ),
+                [src],
+            )
+        elif kind == "dw":
+            g.add(
+                name,
+                DepthwiseConv2D(channels=shape.c, window=Window2D.square(3)),
+                [src],
+            )
+        elif kind == "pool" and shape.h >= 4:
+            g.add(
+                name,
+                Pool2D(
+                    PoolKind.MAX, Window2D.square(2, 2, padding=Padding.VALID)
+                ),
+                [src],
+            )
+        elif kind in ("add", "mul"):
+            partners = [
+                other
+                for other, s in open_tensors.items()
+                if s == shape and other != src
+            ]
+            if not partners:
+                continue
+            partner = draw(st.sampled_from(sorted(partners)))
+            op = Add() if kind == "add" else Mul()
+            g.add(name, op, [src, partner])
+        elif kind == "concat":
+            partners = [
+                other
+                for other, s in open_tensors.items()
+                if (s.h, s.w) == (shape.h, shape.w) and other != src
+            ]
+            if not partners:
+                continue
+            partner = draw(st.sampled_from(sorted(partners)))
+            g.add(name, Concat(), [src, partner])
+        else:
+            continue
+        open_tensors[name] = g.layer(name).output_shape
+    g.validate()
+    return g
+
+
+CONFIGS = [
+    CompileOptions.base(),
+    CompileOptions.halo(),
+    CompileOptions.stratum_config(),
+]
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    graph=random_graph(),
+    cores=st.integers(1, 3),
+    config=st.sampled_from(CONFIGS),
+)
+def test_fuzz_functional_exactness(graph, cores, config):
+    npu = tiny_test_machine(cores)
+    compiled = compile_model(graph, npu, config)
+    report = run_compiled_functional(compiled)
+    assert report.max_abs_error == 0.0
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(graph=random_graph(), config=st.sampled_from(CONFIGS))
+def test_fuzz_simulation_and_audit(graph, config):
+    npu = tiny_test_machine(3)
+    compiled = compile_model(graph, npu, config)
+    result = simulate(compiled.program, npu)
+    assert result.makespan_cycles > 0
+    # no compiled sub-layer may claim more SPM than the core has.
+    _, violations = audit_spm(compiled, tolerance=1.0)
+    assert violations == []
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(graph=random_graph())
+def test_fuzz_small_spm_still_exact(graph):
+    """Cramped SPM exercises banding / input-resident / degraded paths."""
+    npu = tiny_test_machine(2)
+    cramped = dataclasses.replace(
+        npu,
+        cores=tuple(
+            dataclasses.replace(c, spm_bytes=4 * 1024) for c in npu.cores
+        ),
+    )
+    compiled = compile_model(graph, cramped, CompileOptions.halo())
+    report = run_compiled_functional(compiled)
+    assert report.max_abs_error == 0.0
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(graph=random_graph())
+def test_fuzz_passes_preserve_semantics(graph):
+    """The front-end pass pipeline never changes what the graph computes."""
+    import numpy as np
+
+    from repro.ir import optimize
+    from repro.runtime import run_reference
+
+    keep = [l.name for l in graph.outputs()]
+    optimized, report = optimize(graph, keep=keep)
+    before = run_reference(graph, seed=11)
+    after = run_reference(optimized, seed=11)
+    for name in keep:
+        np.testing.assert_allclose(before[name], after[name], atol=1e-12)
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(graph=random_graph(), cores=st.integers(2, 3))
+def test_fuzz_rebalanced_compile_still_exact(graph, cores):
+    """Profile-guided rebalancing keeps the dataflow bit-exact."""
+    from repro.compiler import profile_guided_rebalance
+
+    npu = tiny_test_machine(cores)
+    compiled, _, _ = profile_guided_rebalance(
+        graph, npu, CompileOptions.halo(), max_iterations=1
+    )
+    report = run_compiled_functional(compiled)
+    assert report.max_abs_error == 0.0

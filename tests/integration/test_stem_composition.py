@@ -1,0 +1,58 @@
+"""Compiler decisions on the InceptionV3 stem: the paper's worked example.
+
+Pins down the structure the compiler should find on the Table 5 region
+with the paper's machine: the two conv chains fuse into strata, pooling
+goes channel-wise (h4), and the optimized stem runs with a small number
+of barriers.
+"""
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_model
+from repro.hw import exynos2100_like
+from repro.models import inception_v3_stem
+from repro.partition import PartitionDirection
+
+
+@pytest.fixture(scope="module")
+def npu():
+    return exynos2100_like()
+
+
+@pytest.fixture(scope="module")
+def compiled(npu):
+    return compile_model(inception_v3_stem(), npu, CompileOptions.stratum_config())
+
+
+class TestDirections:
+    def test_convs_spatial(self, compiled):
+        for name in ("stem_conv0", "stem_conv1", "stem_conv2", "stem_conv4"):
+            assert compiled.partition.direction(name) is PartitionDirection.SPATIAL
+
+    def test_pools_channel_h4(self, compiled):
+        for name in ("stem_pool0", "stem_pool1"):
+            part = compiled.partition.partition(name)
+            assert part.direction is PartitionDirection.CHANNEL
+            assert part.reason == "h4"
+
+
+class TestStrata:
+    def test_two_conv_chains_fuse(self, compiled):
+        names = [s.layer_names for s in compiled.strata.strata]
+        assert ("stem_conv0", "stem_conv1", "stem_conv2") in names
+        assert ("stem_conv3", "stem_conv4") in names
+
+    def test_stratum_adds_modest_redundancy(self, compiled):
+        # paper Table 5: a few percent of extra computation.
+        assert 0 < compiled.redundant_macs < 0.05 * compiled.graph.total_macs()
+
+    def test_pool_boundaries_still_sync(self, compiled):
+        # channel-partitioned pools break the chains: some barriers remain.
+        assert 1 <= compiled.num_barriers <= 4
+
+
+class TestAgainstBase(object):
+    def test_optimizations_reduce_coordination(self, npu, compiled):
+        base = compile_model(inception_v3_stem(), npu, CompileOptions.base())
+        assert compiled.num_barriers < base.num_barriers
+        assert compiled.program.total_bytes() < base.program.total_bytes()

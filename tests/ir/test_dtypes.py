@@ -1,0 +1,31 @@
+"""DataType storage properties."""
+
+import numpy as np
+import pytest
+
+from repro.ir.dtypes import DataType
+
+
+@pytest.mark.parametrize(
+    "dtype,size",
+    [
+        (DataType.INT8, 1),
+        (DataType.INT16, 2),
+        (DataType.INT32, 4),
+        (DataType.FP16, 2),
+        (DataType.FP32, 4),
+    ],
+)
+def test_size_bytes(dtype, size):
+    assert dtype.size_bytes == size
+
+
+def test_numpy_dtype_is_wide_float():
+    """Reference execution uses exact wide arithmetic for all types."""
+    for dtype in DataType:
+        assert dtype.numpy_dtype == np.dtype(np.float64)
+
+
+def test_values_roundtrip():
+    assert DataType("int8") is DataType.INT8
+    assert DataType("int16") is DataType.INT16

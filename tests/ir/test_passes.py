@@ -1,0 +1,155 @@
+"""Graph optimization passes: folding, pruning, dead-code elimination."""
+
+import numpy as np
+import pytest
+
+from repro.ir import (
+    Activation,
+    Add,
+    Conv2D,
+    Crop,
+    Graph,
+    Input,
+    TensorShape,
+    Window2D,
+)
+from repro.ir.passes import (
+    eliminate_dead_layers,
+    fold_activations,
+    optimize,
+    remove_identity_crops,
+)
+from repro.runtime import run_reference
+
+
+def conv(c_in, c_out, activation=None):
+    return Conv2D(
+        out_channels=c_out,
+        in_channels=c_in,
+        window=Window2D.square(3),
+        activation=activation,
+    )
+
+
+def graph_with_standalone_relu():
+    g = Graph("g")
+    g.add("in", Input(TensorShape(8, 8, 4)))
+    g.add("c1", conv(4, 8), ["in"])
+    g.add("relu", Activation("relu"), ["c1"])
+    g.add("c2", conv(8, 8, activation="relu"), ["relu"])
+    return g
+
+
+class TestFoldActivations:
+    def test_folds_into_producer(self):
+        g, n = fold_activations(graph_with_standalone_relu())
+        assert n == 1
+        assert "relu" not in g
+        assert g.layer("c1").op.activation == "relu"
+        assert g.layer("c2").inputs == ("c1",)
+
+    def test_respects_existing_activation(self):
+        g = Graph("g")
+        g.add("in", Input(TensorShape(8, 8, 4)))
+        g.add("c1", conv(4, 8, activation="relu6"), ["in"])
+        g.add("relu", Activation("relu"), ["c1"])
+        g2, n = fold_activations(g)
+        assert n == 0
+        assert "relu" in g2
+
+    def test_respects_multiple_consumers(self):
+        g = Graph("g")
+        g.add("in", Input(TensorShape(8, 8, 4)))
+        g.add("c1", conv(4, 8), ["in"])
+        g.add("relu", Activation("relu"), ["c1"])
+        g.add("c2", conv(8, 8), ["c1"])  # second consumer of c1
+        g2, n = fold_activations(g)
+        assert n == 0
+
+    def test_semantics_preserved(self):
+        g = graph_with_standalone_relu()
+        g2, _ = fold_activations(g)
+        a = run_reference(g, seed=4)
+        b = run_reference(g2, seed=4)
+        np.testing.assert_allclose(a["c2"], b["c2"], atol=1e-12)
+
+
+class TestRemoveIdentityCrops:
+    def test_removes_noop_crop(self):
+        g = Graph("g")
+        g.add("in", Input(TensorShape(8, 8, 4)))
+        g.add("crop", Crop(out_h=8, out_w=8), ["in"])
+        g.add("c1", conv(4, 8), ["crop"])
+        g2, n = remove_identity_crops(g)
+        assert n == 1
+        assert g2.layer("c1").inputs == ("in",)
+
+    def test_keeps_real_crop(self):
+        g = Graph("g")
+        g.add("in", Input(TensorShape(8, 8, 4)))
+        g.add("crop", Crop(out_h=6, out_w=6), ["in"])
+        g2, n = remove_identity_crops(g)
+        assert n == 0
+        assert "crop" in g2
+
+
+class TestDeadElimination:
+    def test_drops_unused_branch(self):
+        g = Graph("g")
+        g.add("in", Input(TensorShape(8, 8, 4)))
+        g.add("main", conv(4, 8), ["in"])
+        g.add("aux", conv(4, 8), ["in"])  # dead: nothing consumes it...
+        g.add("out", conv(8, 8), ["main"])
+        g2, n = eliminate_dead_layers(g, keep=["out"])
+        assert n == 1
+        assert "aux" not in g2
+        assert "main" in g2
+
+    def test_everything_live_is_noop(self):
+        g = graph_with_standalone_relu()
+        g2, n = eliminate_dead_layers(g)
+        assert n == 0
+        assert len(g2) == len(g)
+
+
+class TestOptimizePipeline:
+    def test_fixed_point_and_report(self):
+        g = Graph("g")
+        g.add("in", Input(TensorShape(10, 10, 4)))
+        g.add("c1", conv(4, 8), ["in"])
+        g.add("relu", Activation("relu"), ["c1"])
+        g.add("crop", Crop(out_h=10, out_w=10), ["relu"])
+        g.add("out", conv(8, 4, activation="relu"), ["crop"])
+        g.add("dead", conv(8, 8), ["crop"])
+        g2, report = optimize(g, keep=["out"])
+        # 'dead' removal makes 'crop' single-consumer chains collapse.
+        assert "dead" not in g2
+        assert "relu" not in g2
+        assert "crop" not in g2
+        assert report.removed_dead == 1
+        assert report.folded_activations == 1
+        assert report.removed_crops == 1
+        assert report.total_removed == 3
+
+    def test_optimized_graph_compiles_and_matches(self):
+        from repro.compiler import CompileOptions, compile_model
+        from repro.hw import tiny_test_machine
+        from repro.runtime import run_compiled_functional
+
+        g = graph_with_standalone_relu()
+        g2, _ = optimize(g)
+        npu = tiny_test_machine(2)
+        report = run_compiled_functional(
+            compile_model(g2, npu, CompileOptions.halo())
+        )
+        assert report.max_abs_error == 0.0
+
+    def test_zoo_models_survive_optimization(self):
+        from repro.models import get_model
+
+        for name in ("MobileNetV2", "UNet"):
+            g = get_model(name)
+            g2, report = optimize(g)
+            g2.validate()
+            # zoo builders already fuse activations; nothing should break.
+            assert len(g2) <= len(g)

@@ -1,0 +1,194 @@
+"""Interval/Region algebra and interval splitting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.dtypes import DataType
+from repro.ir.tensor import (
+    Interval,
+    Region,
+    TensorShape,
+    split_interval_even,
+    split_interval_weighted,
+)
+
+
+class TestTensorShape:
+    def test_num_elements(self):
+        assert TensorShape(2, 3, 4).num_elements == 24
+
+    def test_size_bytes_scales_with_dtype(self):
+        s = TensorShape(4, 4, 4)
+        assert s.size_bytes(DataType.INT8) == 64
+        assert s.size_bytes(DataType.INT16) == 128
+        assert s.size_bytes(DataType.FP32) == 256
+
+    @pytest.mark.parametrize("h,w,c", [(0, 1, 1), (1, -1, 1), (1, 1, 0)])
+    def test_rejects_nonpositive_dims(self, h, w, c):
+        with pytest.raises(ValueError):
+            TensorShape(h, w, c)
+
+    def test_as_tuple_and_str(self):
+        s = TensorShape(5, 6, 7)
+        assert s.as_tuple() == (5, 6, 7)
+        assert str(s) == "5x6x7"
+
+
+class TestInterval:
+    def test_length_and_empty(self):
+        assert Interval(2, 5).length == 3
+        assert Interval(3, 3).is_empty
+        assert not Interval(3, 4).is_empty
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            Interval(5, 2)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            Interval(-1, 2)
+
+    def test_intersect(self):
+        assert Interval(0, 5).intersect(Interval(3, 8)) == Interval(3, 5)
+
+    def test_intersect_disjoint_is_empty(self):
+        assert Interval(0, 2).intersect(Interval(5, 8)).is_empty
+
+    def test_union_hull(self):
+        assert Interval(0, 2).union_hull(Interval(5, 8)) == Interval(0, 8)
+
+    def test_contains(self):
+        assert Interval(0, 10).contains(Interval(2, 5))
+        assert not Interval(0, 10).contains(Interval(8, 12))
+
+    def test_shift(self):
+        assert Interval(2, 5).shift(3) == Interval(5, 8)
+
+    def test_clamp(self):
+        assert Interval(2, 9).clamp(4, 7) == Interval(4, 7)
+        assert Interval(0, 3).clamp(5, 9).is_empty
+
+    def test_iteration(self):
+        assert list(Interval(2, 5)) == [2, 3, 4]
+
+
+class TestRegion:
+    def test_full(self):
+        shape = TensorShape(4, 5, 6)
+        region = Region.full(shape)
+        assert region.shape == shape
+        assert region.num_elements == 120
+
+    def test_empty_region_has_no_shape(self):
+        empty = Region(Interval(0, 0), Interval(0, 1), Interval(0, 1))
+        assert empty.is_empty
+        with pytest.raises(ValueError):
+            _ = empty.shape
+
+    def test_intersect(self):
+        a = Region(Interval(0, 4), Interval(0, 4), Interval(0, 4))
+        b = Region(Interval(2, 6), Interval(1, 3), Interval(0, 4))
+        c = a.intersect(b)
+        assert c.rows == Interval(2, 4)
+        assert c.cols == Interval(1, 3)
+        assert c.chans == Interval(0, 4)
+
+    def test_contains_and_within(self):
+        shape = TensorShape(8, 8, 8)
+        inner = Region(Interval(1, 3), Interval(2, 4), Interval(0, 8))
+        assert Region.full(shape).contains(inner)
+        assert inner.within(shape)
+
+    def test_as_slices_roundtrip(self):
+        import numpy as np
+
+        arr = np.arange(4 * 5 * 6).reshape(4, 5, 6)
+        region = Region(Interval(1, 3), Interval(0, 2), Interval(4, 6))
+        sliced = arr[region.as_slices()]
+        assert sliced.shape == (2, 2, 2)
+        assert sliced[0, 0, 0] == arr[1, 0, 4]
+
+
+class TestSplitEven:
+    def test_exact_division(self):
+        parts = split_interval_even(9, 3)
+        assert [p.length for p in parts] == [3, 3, 3]
+
+    def test_remainder_goes_first(self):
+        parts = split_interval_even(10, 3)
+        assert [p.length for p in parts] == [4, 3, 3]
+
+    def test_more_parts_than_items(self):
+        parts = split_interval_even(2, 4)
+        assert [p.length for p in parts] == [1, 1, 0, 0]
+
+    def test_rejects_zero_parts(self):
+        with pytest.raises(ValueError):
+            split_interval_even(4, 0)
+
+    @given(st.integers(0, 200), st.integers(1, 10))
+    def test_covers_exactly(self, total, parts):
+        intervals = split_interval_even(total, parts)
+        assert intervals[0].start == 0
+        assert intervals[-1].stop == total
+        for a, b in zip(intervals, intervals[1:]):
+            assert a.stop == b.start
+
+
+class TestSplitWeighted:
+    def test_proportional(self):
+        parts = split_interval_weighted(100, (1.0, 1.0), alignment=1)
+        assert [p.length for p in parts] == [50, 50]
+
+    def test_alignment_respected(self):
+        parts = split_interval_weighted(96, (1.0, 1.0, 1.0), alignment=16)
+        for p in parts[:-1]:
+            assert p.length % 16 == 0
+        assert sum(p.length for p in parts) == 96
+
+    def test_zero_weight_gets_nothing(self):
+        parts = split_interval_weighted(64, (1.0, 0.0, 1.0), alignment=4)
+        assert parts[1].is_empty
+        assert sum(p.length for p in parts) == 64
+
+    def test_last_positive_weight_absorbs_remainder(self):
+        parts = split_interval_weighted(10, (1.0, 1.0, 0.0), alignment=4)
+        assert parts[2].is_empty
+        assert sum(p.length for p in parts) == 10
+
+    def test_rejects_all_zero_weights(self):
+        with pytest.raises(ValueError):
+            split_interval_weighted(10, (0.0, 0.0))
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            split_interval_weighted(10, (1.0, -1.0))
+
+    def test_rejects_empty_weights(self):
+        with pytest.raises(ValueError):
+            split_interval_weighted(10, ())
+
+    @given(
+        st.integers(0, 500),
+        st.lists(st.floats(0.0, 10.0), min_size=1, max_size=6),
+        st.sampled_from([1, 2, 4, 16, 32]),
+    )
+    def test_always_covers_exactly(self, total, weights, alignment):
+        if sum(weights) == 0:
+            weights = weights[:-1] + [1.0]
+        intervals = split_interval_weighted(total, tuple(weights), alignment)
+        assert intervals[0].start == 0
+        assert intervals[-1].stop == total
+        for a, b in zip(intervals, intervals[1:]):
+            assert a.stop == b.start
+
+    @given(
+        st.integers(1, 500),
+        st.integers(2, 5),
+        st.sampled_from([2, 8, 32]),
+    )
+    def test_nonlast_parts_aligned(self, total, n, alignment):
+        intervals = split_interval_weighted(total, (1.0,) * n, alignment)
+        nonempty = [iv for iv in intervals if not iv.is_empty]
+        for iv in nonempty[:-1]:
+            assert iv.start % alignment == 0

@@ -1,0 +1,97 @@
+"""Depth-first / breadth-first traversal orders (Figure 6)."""
+
+import pytest
+
+from repro.ir import Conv2D, Graph, Input, TensorShape, Window2D
+from repro.ir.traversal import (
+    breadth_first_order,
+    depth_first_order,
+    depth_first_tree,
+    is_ancestor,
+)
+
+from tests.conftest import make_branchy_graph
+
+
+def _conv(c_in: int, c_out: int) -> Conv2D:
+    return Conv2D(out_channels=c_out, in_channels=c_in, window=Window2D.square(3))
+
+
+def diamond() -> Graph:
+    g = Graph("diamond")
+    g.add("in", Input(TensorShape(8, 8, 4)))
+    g.add("top", _conv(4, 4), ["in"])
+    g.add("l", _conv(4, 4), ["top"])
+    g.add("r", _conv(4, 4), ["top"])
+    g.add("l2", _conv(4, 4), ["l"])
+    from repro.ir import Add
+
+    g.add("join", Add(), ["l2", "r"])
+    return g
+
+
+def _is_topological(graph: Graph, order):
+    pos = {n: i for i, n in enumerate(order)}
+    for layer in graph.layers():
+        for src in layer.inputs:
+            assert pos[src] < pos[layer.name]
+
+
+class TestDepthFirst:
+    def test_topological(self):
+        g = diamond()
+        _is_topological(g, depth_first_order(g))
+
+    def test_chases_chains(self):
+        """DFS runs l -> l2 before switching to r (or r first, then l, l2)."""
+        order = depth_first_order(diamond())
+        i_l, i_l2, i_r = order.index("l"), order.index("l2"), order.index("r")
+        # l2 immediately follows l: the depth-first property.
+        assert i_l2 == i_l + 1 or i_r < i_l
+
+    def test_covers_all(self):
+        g = make_branchy_graph()
+        assert sorted(depth_first_order(g)) == sorted(g.topological_order())
+
+
+class TestBreadthFirst:
+    def test_topological(self):
+        g = diamond()
+        _is_topological(g, breadth_first_order(g))
+
+    def test_level_order(self):
+        order = breadth_first_order(diamond())
+        # siblings l and r come before the grandchild l2.
+        assert order.index("l") < order.index("l2")
+        assert order.index("r") < order.index("l2")
+
+    def test_covers_all(self):
+        g = make_branchy_graph()
+        assert sorted(breadth_first_order(g)) == sorted(g.topological_order())
+
+
+class TestDepthFirstTree:
+    def test_inputs_are_roots(self):
+        g = diamond()
+        tree = depth_first_tree(g)
+        assert tree["in"] == "in"
+
+    def test_parent_is_a_producer(self):
+        g = make_branchy_graph()
+        tree = depth_first_tree(g)
+        for name, parent in tree.items():
+            if parent != name:
+                assert parent in g.producers(name)
+
+
+class TestIsAncestor:
+    def test_direct_and_transitive(self):
+        g = diamond()
+        assert is_ancestor(g, "top", "l2")
+        assert is_ancestor(g, "in", "join")
+        assert is_ancestor(g, "l", "l")
+
+    def test_not_ancestor_of_sibling(self):
+        g = diamond()
+        assert not is_ancestor(g, "l", "r")
+        assert not is_ancestor(g, "join", "top")

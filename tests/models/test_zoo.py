@@ -1,0 +1,179 @@
+"""Model zoo: structure, shapes, arithmetic of the six Table 2 networks."""
+
+import pytest
+
+from repro.ir import DataType, TensorShape
+from repro.models import (
+    ZOO,
+    get_info,
+    get_model,
+    inception_v3,
+    inception_v3_stem,
+    mobilenet_v2,
+    model_names,
+    unet,
+)
+from repro.models.inception_v3 import STEM_LAYERS
+
+
+class TestRegistry:
+    def test_six_models(self):
+        assert len(ZOO) == 6
+        assert model_names() == [
+            "InceptionV3",
+            "MobileNetV2",
+            "MobileNetV2-SSD",
+            "MobileDet-SSD",
+            "DeepLabV3+",
+            "UNet",
+        ]
+
+    def test_case_insensitive_lookup(self):
+        assert get_info("inceptionv3").name == "InceptionV3"
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            get_model("ResNet50")
+
+    def test_table2_dtypes(self):
+        assert get_info("DeepLabV3+").dtype is DataType.INT16
+        for name in ("InceptionV3", "MobileNetV2", "UNet"):
+            assert get_info(name).dtype is DataType.INT8
+
+    def test_table2_input_sizes(self):
+        expected = {
+            "InceptionV3": (299, 299, 3),
+            "MobileNetV2": (224, 224, 3),
+            "MobileNetV2-SSD": (300, 300, 3),
+            "MobileDet-SSD": (320, 320, 3),
+            "DeepLabV3+": (513, 513, 3),
+            "UNet": (572, 572, 3),
+        }
+        for name, size in expected.items():
+            info = get_info(name)
+            assert info.input_size == size
+            graph = info.factory()
+            assert graph.inputs()[0].output_shape == TensorShape(*size)
+
+    def test_all_models_validate(self):
+        for info in ZOO:
+            info.factory().validate()
+
+
+class TestInceptionV3:
+    def test_published_macs(self):
+        """InceptionV3 is ~5.7 GMACs at 299x299."""
+        g = inception_v3()
+        assert 5.0e9 < g.total_macs() < 6.5e9
+
+    def test_published_weights(self):
+        """~23.8M parameters."""
+        g = inception_v3()
+        assert 22e6 < g.total_weight_bytes() < 26e6  # INT8: bytes == params
+
+    def test_feature_map_sizes(self):
+        g = inception_v3()
+        assert g.layer("stem_pool1").output_shape == TensorShape(35, 35, 192)
+        assert g.layer("mixed5b_concat").output_shape == TensorShape(35, 35, 256)
+        assert g.layer("mixed5d_concat").output_shape == TensorShape(35, 35, 288)
+        assert g.layer("mixed6a_concat").output_shape == TensorShape(17, 17, 768)
+        assert g.layer("mixed6e_concat").output_shape == TensorShape(17, 17, 768)
+        assert g.layer("mixed7a_concat").output_shape == TensorShape(8, 8, 1280)
+        assert g.layer("mixed7c_concat").output_shape == TensorShape(8, 8, 2048)
+        assert g.layer("logits").output_shape == TensorShape(1, 1, 1000)
+
+    def test_stem_subgraph(self):
+        stem = inception_v3_stem()
+        stem.validate()
+        assert stem.layer("stem_pool1").output_shape == TensorShape(35, 35, 192)
+        for name in STEM_LAYERS:
+            assert name in stem
+
+
+class TestMobileNetV2:
+    def test_published_macs(self):
+        """~0.3 GMACs at 224x224."""
+        g = mobilenet_v2()
+        assert 0.25e9 < g.total_macs() < 0.35e9
+
+    def test_published_weights(self):
+        """~3.5M parameters."""
+        g = mobilenet_v2()
+        assert 3.0e6 < g.total_weight_bytes() < 4.2e6
+
+    def test_final_feature_map(self):
+        g = mobilenet_v2()
+        assert g.layer("head_conv").output_shape == TensorShape(7, 7, 1280)
+
+    def test_residual_adds_present(self):
+        g = mobilenet_v2()
+        adds = [l for l in g.layers() if l.op.type_name == "Add"]
+        assert len(adds) == 10  # 10 identity residuals in the standard net
+
+
+class TestDetectors:
+    def test_ssd_has_multiple_outputs(self):
+        g = get_model("MobileNetV2-SSD")
+        # 6 feature maps x (box + cls) heads.
+        assert len(g.outputs()) == 12
+
+    def test_ssd_feature_pyramid(self):
+        g = get_model("MobileNetV2-SSD")
+        assert g.layer("block13_expand").output_shape.h == 19
+        assert g.layer("head_conv").output_shape.h == 10
+        assert g.layer("extra0_3x3").output_shape.h == 5
+        assert g.layer("extra3_3x3").output_shape.h == 1
+
+    def test_mobiledet_pyramid(self):
+        g = get_model("MobileDet-SSD")
+        assert g.layer("s3b3_add").output_shape.h == 20
+        assert g.layer("head_conv").output_shape.h == 10
+        assert len(g.outputs()) == 12
+
+
+class TestDeepLab:
+    def test_output_stride_16_backbone(self):
+        g = get_model("DeepLabV3+")
+        # 513 / 16 -> 33 with SAME striding.
+        assert g.layer("aspp_concat").output_shape.h == 33
+
+    def test_full_resolution_output(self):
+        g = get_model("DeepLabV3+")
+        (out,) = g.outputs()
+        assert out.output_shape.h == 513
+        assert out.output_shape.c == 21
+
+    def test_uses_dilation(self):
+        g = get_model("DeepLabV3+")
+        rates = {
+            l.op.window.dilation_h
+            for l in g.layers()
+            if l.op.type_name == "Conv2D"
+        }
+        assert {6, 12, 18} <= rates
+
+    def test_int16(self):
+        g = get_model("DeepLabV3+")
+        assert all(l.dtype is DataType.INT16 for l in g.layers())
+
+
+class TestUNet:
+    def test_original_geometry(self):
+        """The famous 572 -> 388 shape walk of the original paper."""
+        g = unet()
+        assert g.layer("enc0_conv1").output_shape == TensorShape(568, 568, 64)
+        assert g.layer("enc3_conv1").output_shape == TensorShape(64, 64, 512)
+        assert g.layer("bottleneck_conv1").output_shape == TensorShape(28, 28, 1024)
+        (out,) = g.outputs()
+        assert out.output_shape == TensorShape(388, 388, 2)
+
+    def test_skip_crops_match(self):
+        g = unet()
+        for i in range(4):
+            crop = g.layer(f"dec{i}_crop")
+            up = g.layer(f"dec{i}_up")
+            assert crop.output_shape.h == up.output_shape.h
+
+    def test_heaviest_model(self):
+        g = unet()
+        assert g.total_macs() > 50e9

@@ -1,0 +1,111 @@
+"""Workload balancing across heterogeneous cores."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw import CoreConfig, NPUConfig, exynos2100_like, tiny_test_machine
+from repro.ir import Conv2D, Graph, Input, TensorShape, Window2D
+from repro.partition import PartitionDirection, balance_intervals, balance_weights
+
+
+def conv_layer(h=32, c_in=8, c_out=32, kernel=3):
+    g = Graph("g")
+    g.add("in", Input(TensorShape(h, h, c_in)))
+    g.add(
+        "c",
+        Conv2D(out_channels=c_out, in_channels=c_in, window=Window2D.square(kernel)),
+        ["in"],
+    )
+    return g.layer("c")
+
+
+def lopsided_machine() -> NPUConfig:
+    fast = CoreConfig(
+        name="fast", macs_per_cycle=256, dma_bytes_per_cycle=16.0,
+        spm_bytes=64 * 1024, channel_alignment=4, spatial_alignment=1,
+        compute_efficiency=1.0,
+    )
+    slow = CoreConfig(
+        name="slow", macs_per_cycle=64, dma_bytes_per_cycle=4.0,
+        spm_bytes=64 * 1024, channel_alignment=4, spatial_alignment=1,
+        compute_efficiency=1.0,
+    )
+    return NPUConfig(name="lop", cores=(fast, slow), bus_bytes_per_cycle=20.0)
+
+
+class TestWeights:
+    def test_equal_cores_equal_weights(self):
+        npu = tiny_test_machine(3)
+        w = balance_weights(conv_layer(), PartitionDirection.SPATIAL, npu)
+        assert w[0] == pytest.approx(w[1])
+        assert w[1] == pytest.approx(w[2])
+
+    def test_faster_core_gets_more(self):
+        npu = lopsided_machine()
+        w = balance_weights(conv_layer(), PartitionDirection.SPATIAL, npu)
+        assert w[0] > w[1]
+
+
+class TestIntervals:
+    def test_covers_output(self):
+        npu = tiny_test_machine(3)
+        layer = conv_layer()
+        ivs = balance_intervals(layer, PartitionDirection.SPATIAL, npu)
+        assert ivs[0].start == 0
+        assert ivs[-1].stop == layer.output_shape.h
+
+    def test_channel_covers_output(self):
+        npu = tiny_test_machine(3)
+        layer = conv_layer(c_out=48)
+        ivs = balance_intervals(layer, PartitionDirection.CHANNEL, npu)
+        assert ivs[-1].stop == layer.output_shape.c
+
+    def test_none_direction_rejected(self):
+        npu = tiny_test_machine(2)
+        with pytest.raises(ValueError):
+            balance_intervals(conv_layer(), PartitionDirection.NONE, npu)
+
+    def test_faster_core_gets_more_rows(self):
+        npu = lopsided_machine()
+        layer = conv_layer(h=40)
+        ivs = balance_intervals(layer, PartitionDirection.SPATIAL, npu)
+        assert ivs[0].length > ivs[1].length
+
+    def test_channel_alignment_respected(self):
+        npu = exynos2100_like()  # channel alignment up to 32
+        layer = conv_layer(c_out=160)
+        ivs = balance_intervals(layer, PartitionDirection.CHANNEL, npu)
+        nonempty = [iv for iv in ivs if not iv.is_empty]
+        for iv in nonempty[:-1]:
+            assert iv.start % 32 == 0
+
+    def test_balance_quality_on_heterogeneous_machine(self):
+        """Per-core compute time imbalance stays moderate after alignment."""
+        npu = exynos2100_like()
+        layer = conv_layer(h=64, c_out=64)
+        ivs = balance_intervals(layer, PartitionDirection.SPATIAL, npu)
+        times = []
+        for core_index, iv in enumerate(ivs):
+            if iv.is_empty:
+                continue
+            macs_share = layer.macs() * iv.length / layer.output_shape.h
+            times.append(macs_share / npu.core(core_index).effective_macs_per_cycle)
+        assert max(times) / min(times) < 1.6
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    h=st.integers(8, 64),
+    c_out=st.integers(8, 64),
+    direction=st.sampled_from([PartitionDirection.SPATIAL, PartitionDirection.CHANNEL]),
+)
+def test_property_intervals_tile_axis(h, c_out, direction):
+    npu = tiny_test_machine(3)
+    layer = conv_layer(h=h, c_out=c_out)
+    ivs = balance_intervals(layer, direction, npu)
+    total = layer.output_shape.h if direction is PartitionDirection.SPATIAL else layer.output_shape.c
+    assert sum(iv.length for iv in ivs) == total
+    for a, b in zip(ivs, ivs[1:]):
+        assert a.stop == b.start

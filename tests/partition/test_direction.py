@@ -1,0 +1,43 @@
+"""Table 1 catalogue and policy enum."""
+
+from repro.partition import (
+    CONV_PARTITIONING_METHODS,
+    PartitionDirection,
+    PartitionPolicy,
+    preferred_methods,
+)
+
+
+class TestTable1:
+    def test_four_methods(self):
+        assert len(CONV_PARTITIONING_METHODS) == 4
+
+    def test_spatial_row(self):
+        spatial = CONV_PARTITIONING_METHODS[0]
+        assert spatial.direction is PartitionDirection.SPATIAL
+        assert spatial.data_partitioned == ("input", "output")
+        assert spatial.data_replicated == ("kernel",)
+        assert not spatial.needs_partial_sum_reduction
+
+    def test_channel_row(self):
+        channel = CONV_PARTITIONING_METHODS[2]
+        assert channel.direction is PartitionDirection.CHANNEL
+        assert channel.data_partitioned == ("kernel", "output")
+        assert channel.data_replicated == ("input",)
+        assert not channel.needs_partial_sum_reduction
+
+    def test_starred_rows_need_reduction(self):
+        for method in (CONV_PARTITIONING_METHODS[1], CONV_PARTITIONING_METHODS[3]):
+            assert method.needs_partial_sum_reduction
+            assert not method.preferred
+            assert method.name.endswith("*")
+
+    def test_preferred_methods_are_the_unstarred_ones(self):
+        names = {m.name for m in preferred_methods()}
+        assert names == {"spatial", "channel"}
+
+
+class TestPolicyEnum:
+    def test_values(self):
+        assert PartitionPolicy.ADAPTIVE.value == "adaptive"
+        assert str(PartitionPolicy.SINGLE_CORE) == "single-core"

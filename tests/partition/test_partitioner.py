@@ -1,0 +1,83 @@
+"""Whole-graph partitioning under the four policies."""
+
+import pytest
+
+from repro.hw import tiny_test_machine
+from repro.partition import (
+    PartitionDirection,
+    PartitionPolicy,
+    partition_graph,
+    partition_layer,
+    validate_partition_covers_output,
+)
+
+from tests.conftest import make_branchy_graph, make_mixed_graph
+
+
+@pytest.fixture
+def npu():
+    return tiny_test_machine(3)
+
+
+class TestPolicies:
+    def test_single_core_puts_everything_on_one_core(self, npu):
+        gp = partition_graph(make_mixed_graph(), npu, PartitionPolicy.SINGLE_CORE)
+        for part in gp.layers.values():
+            assert part.direction is PartitionDirection.NONE
+            assert part.num_active_cores == 1
+
+    def test_spatial_only_prefers_spatial(self, npu):
+        gp = partition_graph(make_mixed_graph(), npu, PartitionPolicy.SPATIAL_ONLY)
+        counts = gp.directions_summary()
+        assert counts.get(PartitionDirection.SPATIAL, 0) > counts.get(
+            PartitionDirection.CHANNEL, 0
+        )
+
+    def test_channel_only_prefers_channel(self, npu):
+        gp = partition_graph(make_mixed_graph(), npu, PartitionPolicy.CHANNEL_ONLY)
+        counts = gp.directions_summary()
+        assert counts.get(PartitionDirection.CHANNEL, 0) > 0
+
+    def test_adaptive_mixes_directions(self, npu):
+        gp = partition_graph(make_mixed_graph(), npu, PartitionPolicy.ADAPTIVE)
+        counts = gp.directions_summary()
+        assert counts.get(PartitionDirection.SPATIAL, 0) > 0
+        assert counts.get(PartitionDirection.CHANNEL, 0) > 0
+
+    def test_every_partition_covers_output(self, npu):
+        graph = make_branchy_graph()
+        for policy in PartitionPolicy:
+            gp = partition_graph(graph, npu, policy)
+            for layer in graph.layers():
+                validate_partition_covers_output(
+                    layer, gp.partition(layer.name).out_regions()
+                )
+
+
+class TestPartitionLayer:
+    def test_none_goes_to_fastest_core(self):
+        import dataclasses
+
+        npu = tiny_test_machine(3)
+        big = dataclasses.replace(npu.cores[1], macs_per_cycle=512)
+        npu = dataclasses.replace(npu, cores=(npu.cores[0], big, npu.cores[2]))
+        graph = make_mixed_graph()
+        part = partition_layer(
+            graph.layer("c1"), npu, PartitionPolicy.SINGLE_CORE
+        )
+        # policy SINGLE_CORE on multicore machine -> fastest core (index 1)
+        assert not part.sub_layers[1].is_empty
+        assert part.sub_layers[0].is_empty
+
+    def test_reason_recorded(self, npu):
+        graph = make_mixed_graph()
+        part = partition_layer(graph.layer("dw"), npu)
+        assert part.reason == "h4"
+
+
+class TestSummaries:
+    def test_reasons_summary(self, npu):
+        gp = partition_graph(make_mixed_graph(), npu)
+        reasons = gp.reasons_summary()
+        assert sum(reasons.values()) == len(gp.layers)
+        assert "h1" in reasons

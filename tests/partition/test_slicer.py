@@ -1,0 +1,253 @@
+"""Output slicing, sub-layer construction, halo regions (+properties)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw import tiny_test_machine
+from repro.ir import (
+    Conv2D,
+    DepthwiseConv2D,
+    Graph,
+    Input,
+    Interval,
+    Padding,
+    Region,
+    TensorShape,
+    Window2D,
+)
+from repro.ir.tensor import split_interval_even
+from repro.partition import (
+    PartitionDirection,
+    build_sub_layers,
+    halo_exchange_bytes,
+    halo_regions,
+    output_regions,
+    spatial_halo_rows,
+    validate_partition_covers_output,
+)
+
+
+def conv_pair(h=24, w=24, c_in=8, c_out=8, kernel=3, stride=1):
+    g = Graph("g")
+    g.add("in", Input(TensorShape(h, w, c_in)))
+    g.add(
+        "a",
+        Conv2D(out_channels=c_out, in_channels=c_in, window=Window2D.square(kernel, stride)),
+        ["in"],
+    )
+    g.add(
+        "b",
+        Conv2D(out_channels=c_out, in_channels=c_out, window=Window2D.square(kernel)),
+        ["a"],
+    )
+    return g
+
+
+class TestOutputRegions:
+    def test_spatial_slices(self):
+        g = conv_pair()
+        layer = g.layer("a")
+        ivs = split_interval_even(layer.output_shape.h, 3)
+        regions = output_regions(layer, PartitionDirection.SPATIAL, ivs)
+        validate_partition_covers_output(layer, regions)
+        for r in regions:
+            assert r.cols.length == layer.output_shape.w
+            assert r.chans.length == layer.output_shape.c
+
+    def test_channel_slices(self):
+        g = conv_pair(c_out=12)
+        layer = g.layer("a")
+        ivs = split_interval_even(layer.output_shape.c, 3)
+        regions = output_regions(layer, PartitionDirection.CHANNEL, ivs)
+        validate_partition_covers_output(layer, regions)
+        for r in regions:
+            assert r.rows.length == layer.output_shape.h
+
+    def test_overflow_rejected(self):
+        g = conv_pair()
+        layer = g.layer("a")
+        with pytest.raises(ValueError):
+            output_regions(layer, PartitionDirection.SPATIAL, [Interval(0, 1000)])
+
+    def test_none_direction_single_interval(self):
+        g = conv_pair()
+        layer = g.layer("a")
+        (region,) = output_regions(layer, PartitionDirection.NONE, [Interval(0, 1)])
+        assert region == Region.full(layer.output_shape)
+        with pytest.raises(ValueError):
+            output_regions(layer, PartitionDirection.NONE, [Interval(0, 1)] * 2)
+
+
+class TestValidateCoverage:
+    def test_gap_detected(self):
+        g = conv_pair()
+        layer = g.layer("a")
+        shape = layer.output_shape
+        regions = [
+            Region(Interval(0, 10), Interval(0, shape.w), Interval(0, shape.c)),
+            Region(Interval(12, shape.h), Interval(0, shape.w), Interval(0, shape.c)),
+        ]
+        with pytest.raises(ValueError):
+            validate_partition_covers_output(layer, regions)
+
+    def test_overlap_detected(self):
+        g = conv_pair()
+        layer = g.layer("a")
+        shape = layer.output_shape
+        regions = [
+            Region(Interval(0, 13), Interval(0, shape.w), Interval(0, shape.c)),
+            Region(Interval(11, shape.h), Interval(0, shape.w), Interval(0, shape.c)),
+        ]
+        with pytest.raises(ValueError):
+            validate_partition_covers_output(layer, regions)
+
+
+class TestSubLayers:
+    def test_macs_sum_to_layer(self):
+        g = conv_pair()
+        layer = g.layer("a")
+        ivs = split_interval_even(layer.output_shape.h, 3)
+        regions = output_regions(layer, PartitionDirection.SPATIAL, ivs)
+        subs = build_sub_layers(layer, regions)
+        assert sum(s.macs for s in subs) == layer.macs()
+
+    def test_empty_core_has_no_work(self):
+        g = conv_pair()
+        layer = g.layer("a")
+        regions = output_regions(
+            layer,
+            PartitionDirection.SPATIAL,
+            [Interval(0, layer.output_shape.h), Interval(layer.output_shape.h, layer.output_shape.h)],
+        )
+        subs = build_sub_layers(layer, regions)
+        assert subs[1].is_empty
+        assert subs[1].macs == 0
+        assert subs[1].weight_elements == 0
+
+    def test_spatial_replicates_weights(self):
+        g = conv_pair()
+        layer = g.layer("a")
+        ivs = split_interval_even(layer.output_shape.h, 2)
+        subs = build_sub_layers(
+            layer, output_regions(layer, PartitionDirection.SPATIAL, ivs)
+        )
+        for s in subs:
+            assert s.weight_elements == layer.op.weight_elements
+
+    def test_channel_splits_weights(self):
+        g = conv_pair(c_out=16)
+        layer = g.layer("a")
+        ivs = split_interval_even(layer.output_shape.c, 2)
+        subs = build_sub_layers(
+            layer, output_regions(layer, PartitionDirection.CHANNEL, ivs)
+        )
+        assert sum(s.weight_elements for s in subs) == layer.op.weight_elements
+
+
+class TestSpatialHaloRows:
+    @pytest.mark.parametrize(
+        "kernel,stride,expected",
+        [(1, 1, 0), (3, 1, 2), (5, 1, 4), (3, 2, 1)],
+    )
+    def test_conv_halo(self, kernel, stride, expected):
+        g = conv_pair(kernel=kernel, stride=stride)
+        assert spatial_halo_rows(g.layer("a")) == expected
+
+    def test_tiny_output_no_halo(self):
+        g = Graph("g")
+        g.add("in", Input(TensorShape(3, 3, 4)))
+        g.add(
+            "c",
+            Conv2D(out_channels=4, in_channels=4, window=Window2D.square(3, padding=Padding.VALID)),
+            ["in"],
+        )
+        assert spatial_halo_rows(g.layer("c")) == 0
+
+
+class TestHaloRegions:
+    def _setup(self, n=2):
+        g = conv_pair()
+        a, b = g.layer("a"), g.layer("b")
+        ivs = split_interval_even(a.output_shape.h, n)
+        prod = output_regions(a, PartitionDirection.SPATIAL, ivs)
+        ivs_b = split_interval_even(b.output_shape.h, n)
+        cons = output_regions(b, PartitionDirection.SPATIAL, ivs_b)
+        return a, b, prod, cons
+
+    def test_pieces_partition_needed(self):
+        a, b, prod, cons = self._setup()
+        table = halo_regions(b, 0, cons, prod)
+        for i, out_region in enumerate(cons):
+            needed = b.input_region(out_region, 0)
+            assert sum(r.num_elements for r in table[i]) == needed.num_elements
+
+    def test_diagonal_is_local_bulk(self):
+        a, b, prod, cons = self._setup()
+        table = halo_regions(b, 0, cons, prod)
+        for i in range(len(cons)):
+            local = table[i][i].num_elements
+            remote = sum(
+                table[i][j].num_elements for j in range(len(prod)) if j != i
+            )
+            assert local > remote
+
+    def test_halo_bytes_symmetry_two_cores(self):
+        a, b, prod, cons = self._setup()
+        received = halo_exchange_bytes(b, 0, cons, prod, a)
+        # both cores need exactly the (kernel-1) boundary rows.
+        assert received[0] > 0 and received[1] > 0
+
+    def test_core_count_mismatch_rejected(self):
+        a, b, prod, cons = self._setup()
+        with pytest.raises(ValueError):
+            halo_regions(b, 0, cons, prod[:1])
+
+    def test_pointwise_consumer_no_remote(self):
+        g = Graph("g")
+        g.add("in", Input(TensorShape(24, 24, 8)))
+        g.add(
+            "a", Conv2D(out_channels=8, in_channels=8, window=Window2D.square(3)), ["in"]
+        )
+        g.add(
+            "b", Conv2D(out_channels=8, in_channels=8, window=Window2D.square(1)), ["a"]
+        )
+        a, b = g.layer("a"), g.layer("b")
+        ivs = split_interval_even(24, 2)
+        prod = output_regions(a, PartitionDirection.SPATIAL, ivs)
+        cons = output_regions(b, PartitionDirection.SPATIAL, ivs)
+        table = halo_regions(b, 0, cons, prod)
+        for i in range(2):
+            for j in range(2):
+                if i != j:
+                    assert table[i][j].is_empty
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    h=st.integers(8, 48),
+    c_out=st.integers(4, 24),
+    kernel=st.integers(1, 5),
+    stride=st.integers(1, 2),
+    cores=st.integers(2, 4),
+    direction=st.sampled_from([PartitionDirection.SPATIAL, PartitionDirection.CHANNEL]),
+)
+def test_property_partition_covers_and_macs_conserved(
+    h, c_out, kernel, stride, cores, direction
+):
+    g = conv_pair(h=h, w=h, c_out=c_out, kernel=kernel, stride=stride)
+    layer = g.layer("a")
+    total = (
+        layer.output_shape.h
+        if direction is PartitionDirection.SPATIAL
+        else layer.output_shape.c
+    )
+    ivs = split_interval_even(total, cores)
+    regions = output_regions(layer, direction, ivs)
+    validate_partition_covers_output(layer, regions)
+    subs = build_sub_layers(layer, regions)
+    assert sum(s.macs for s in subs) == layer.macs()
+    # every non-empty sub-layer's input region fits its input tensor.
+    for s in subs:
+        if not s.is_empty:
+            for i, r in enumerate(s.input_regions):
+                assert r.within(layer.input_shapes[i])

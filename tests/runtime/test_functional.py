@@ -1,0 +1,189 @@
+"""The compiled-dataflow oracle: partitioned execution == reference."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import CompileOptions, compile_model
+from repro.hw import tiny_test_machine
+from repro.ir import (
+    Conv2D,
+    DepthwiseConv2D,
+    Graph,
+    Input,
+    Padding,
+    Pool2D,
+    PoolKind,
+    TensorShape,
+    Upsample,
+    Window2D,
+)
+from repro.partition import PartitionPolicy
+from repro.runtime import run_compiled_functional
+
+from tests.conftest import make_branchy_graph, make_chain_graph, make_mixed_graph
+
+ALL_OPTS = [
+    CompileOptions.base(),
+    CompileOptions.halo(),
+    CompileOptions.stratum_config(),
+    CompileOptions.stratum_only(),
+]
+
+
+@pytest.mark.parametrize("cores", [1, 2, 3])
+@pytest.mark.parametrize("opts", ALL_OPTS, ids=lambda o: o.label)
+def test_mixed_graph_exact(cores, opts):
+    g = make_mixed_graph()
+    npu = tiny_test_machine(cores)
+    report = run_compiled_functional(compile_model(g, npu, opts))
+    assert report.max_abs_error == 0.0
+    assert report.layers_checked == len(g) - 1  # all but the Input
+
+
+@pytest.mark.parametrize("opts", ALL_OPTS, ids=lambda o: o.label)
+def test_branchy_graph_exact(opts):
+    g = make_branchy_graph()
+    npu = tiny_test_machine(3)
+    report = run_compiled_functional(compile_model(g, npu, opts))
+    assert report.max_abs_error == 0.0
+
+
+@pytest.mark.parametrize(
+    "policy",
+    [PartitionPolicy.SPATIAL_ONLY, PartitionPolicy.CHANNEL_ONLY],
+    ids=str,
+)
+def test_forced_policies_exact(policy):
+    g = make_mixed_graph()
+    npu = tiny_test_machine(3)
+    report = run_compiled_functional(
+        compile_model(g, npu, CompileOptions.base(policy=policy))
+    )
+    assert report.max_abs_error == 0.0
+
+
+def test_stratum_exercises_forwarding():
+    g = make_chain_graph()
+    npu = tiny_test_machine(3)
+    big = dataclasses.replace(
+        npu,
+        cores=tuple(
+            dataclasses.replace(c, spm_bytes=16 << 20) for c in npu.cores
+        ),
+        sync_base_cycles=20000,
+    )
+    compiled = compile_model(g, big, CompileOptions.stratum_config())
+    assert len(compiled.strata.strata) == 1
+    report = run_compiled_functional(compiled)
+    assert report.forwarded_reads > 0
+    assert report.max_abs_error == 0.0
+
+
+def test_halo_exercises_exchange():
+    g = make_chain_graph()
+    npu = tiny_test_machine(2)
+    report = run_compiled_functional(compile_model(g, npu, CompileOptions.halo()))
+    assert report.halo_reads > 0
+    assert report.max_abs_error == 0.0
+
+
+def test_dilated_convolutions_exact():
+    """DeepLab-style atrous convolutions keep exact halo math."""
+    g = Graph("atrous")
+    g.add("in", Input(TensorShape(30, 30, 4)))
+    g.add(
+        "c1",
+        Conv2D(out_channels=8, in_channels=4, window=Window2D.square(3)),
+        ["in"],
+    )
+    g.add(
+        "a6",
+        Conv2D(out_channels=8, in_channels=8, window=Window2D.square(3, dilation=3)),
+        ["c1"],
+    )
+    g.add(
+        "a12",
+        Conv2D(out_channels=8, in_channels=8, window=Window2D.square(3, dilation=6)),
+        ["a6"],
+    )
+    npu = tiny_test_machine(3)
+    for opts in ALL_OPTS:
+        report = run_compiled_functional(compile_model(g, npu, opts))
+        assert report.max_abs_error == 0.0
+
+
+def test_valid_padding_chain_exact():
+    """UNet-style VALID convolutions and pooling."""
+    g = Graph("valid")
+    g.add("in", Input(TensorShape(36, 36, 4)))
+    g.add(
+        "c1",
+        Conv2D(
+            out_channels=8, in_channels=4,
+            window=Window2D.square(3, padding=Padding.VALID),
+        ),
+        ["in"],
+    )
+    g.add(
+        "c2",
+        Conv2D(
+            out_channels=8, in_channels=8,
+            window=Window2D.square(3, padding=Padding.VALID),
+        ),
+        ["c1"],
+    )
+    g.add(
+        "p",
+        Pool2D(PoolKind.MAX, Window2D.square(2, 2, padding=Padding.VALID)),
+        ["c2"],
+    )
+    npu = tiny_test_machine(2)
+    for opts in ALL_OPTS:
+        report = run_compiled_functional(compile_model(g, npu, opts))
+        assert report.max_abs_error == 0.0
+
+
+def test_upsample_bilinear_exact():
+    g = Graph("up")
+    g.add("in", Input(TensorShape(12, 12, 4)))
+    g.add(
+        "c1", Conv2D(out_channels=8, in_channels=4, window=Window2D.square(3)), ["in"]
+    )
+    g.add("up", Upsample(factor_h=2, factor_w=2, mode="bilinear"), ["c1"])
+    g.add(
+        "c2", Conv2D(out_channels=4, in_channels=8, window=Window2D.square(3)), ["up"]
+    )
+    npu = tiny_test_machine(2)
+    for opts in ALL_OPTS:
+        report = run_compiled_functional(compile_model(g, npu, opts))
+        assert report.max_abs_error == 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    h=st.integers(12, 40),
+    c=st.sampled_from([4, 8, 12]),
+    kernel=st.sampled_from([1, 3, 5]),
+    stride=st.integers(1, 2),
+    cores=st.integers(2, 3),
+    opts=st.sampled_from(ALL_OPTS),
+)
+def test_property_random_conv_chains_exact(h, c, kernel, stride, cores, opts):
+    g = Graph("rand")
+    g.add("in", Input(TensorShape(h, h, 4)))
+    g.add(
+        "c1",
+        Conv2D(out_channels=c, in_channels=4, window=Window2D.square(kernel, stride)),
+        ["in"],
+    )
+    g.add(
+        "c2",
+        Conv2D(out_channels=c, in_channels=c, window=Window2D.square(kernel)),
+        ["c1"],
+    )
+    g.add("dw", DepthwiseConv2D(channels=c, window=Window2D.square(3)), ["c2"])
+    npu = tiny_test_machine(cores)
+    report = run_compiled_functional(compile_model(g, npu, opts))
+    assert report.max_abs_error == 0.0

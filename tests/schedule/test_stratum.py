@@ -1,0 +1,190 @@
+"""Algorithm 2: stratum construction, gating heuristics, inflation math."""
+
+import dataclasses
+
+import pytest
+
+from repro.hw import tiny_test_machine
+from repro.ir import Conv2D, Graph, Input, TensorShape, Window2D
+from repro.partition import PartitionDirection, partition_graph
+from repro.schedule import build_strata, schedule_layers
+from repro.schedule.stratum import Stratum, StratumEntry
+
+from tests.conftest import make_branchy_graph, make_chain_graph
+
+
+def big_spm_machine(cores=3):
+    """Tiny machine where neither SPM nor h8 gates stratum formation.
+
+    SPM is huge and synchronization expensive relative to the weak tiny
+    compute engines, so chain fusion is limited only by graph structure
+    and partition directions.
+    """
+    npu = tiny_test_machine(cores)
+    new_cores = tuple(
+        dataclasses.replace(c, spm_bytes=16 * 1024 * 1024) for c in npu.cores
+    )
+    return dataclasses.replace(npu, cores=new_cores, sync_base_cycles=20000)
+
+
+def build(graph, npu, **kw):
+    gp = partition_graph(graph, npu)
+    sched = schedule_layers(graph, gp)
+    return gp, sched, build_strata(graph, gp, sched, npu, **kw)
+
+
+class TestChainStratum:
+    def test_conv_chain_fuses(self):
+        g = make_chain_graph()
+        npu = big_spm_machine()
+        gp, sched, plan = build(g, npu)
+        assert len(plan.strata) == 1
+        assert plan.strata[0].layer_names == ("c1", "c2", "c3")
+
+    def test_membership_and_interior(self):
+        g = make_chain_graph()
+        npu = big_spm_machine()
+        _, _, plan = build(g, npu)
+        assert plan.is_interior("c1")
+        assert plan.is_interior("c2")
+        assert not plan.is_interior("c3")  # bottom stores and syncs
+        assert plan.stratum_of("c1") is plan.stratum_of("c3")
+        assert plan.stratum_of("in") is None
+
+    def test_eliminated_syncs(self):
+        g = make_chain_graph()
+        _, _, plan = build(g, big_spm_machine())
+        assert plan.num_eliminated_syncs == 2
+
+    def test_input_layer_never_fuses(self):
+        g = make_chain_graph()
+        _, _, plan = build(g, big_spm_machine())
+        assert plan.stratum_of("in") is None
+
+
+class TestInflation:
+    def test_interior_regions_inflated(self):
+        """Upper layers compute extra boundary rows (Figure 7b)."""
+        g = make_chain_graph()
+        npu = big_spm_machine()
+        gp, _, plan = build(g, npu)
+        stratum = plan.strata[0]
+        bottom = stratum.entry("c3")
+        mid = stratum.entry("c2")
+        # bottom keeps the balanced partition; interior cores overlap.
+        for i, region in enumerate(bottom.out_regions):
+            assert region == gp.partition("c3").out_regions()[i]
+        overlap = 0
+        for i in range(npu.num_cores - 1):
+            a = mid.out_regions[i]
+            b = mid.out_regions[i + 1]
+            overlap += a.rows.intersect(b.rows).length
+        assert overlap > 0
+
+    def test_redundant_macs_positive_in_interior(self):
+        g = make_chain_graph()
+        _, _, plan = build(g, big_spm_machine())
+        stratum = plan.strata[0]
+        assert stratum.entry("c2").total_redundant_macs > 0
+        assert stratum.entry("c3").total_redundant_macs == 0
+        assert stratum.total_redundant_macs > 0
+
+    def test_inflation_grows_toward_top(self):
+        """Redundancy accumulates toward higher layers (Section 3, item 5)."""
+        g = Graph("deep")
+        g.add("in", Input(TensorShape(48, 48, 8)))
+        prev = "in"
+        for i in range(4):
+            g.add(
+                f"c{i}",
+                Conv2D(out_channels=8, in_channels=8, window=Window2D.square(3)),
+                [prev],
+            )
+            prev = f"c{i}"
+        npu = big_spm_machine()
+        gp, _, plan = build(g, npu)
+        assert len(plan.strata) == 1
+        stratum = plan.strata[0]
+        # total rows computed per layer decreases from top to bottom.
+        rows = [
+            sum(r.rows.length for r in e.out_regions) for e in stratum.entries
+        ]
+        assert rows == sorted(rows, reverse=True)
+
+
+class TestGating:
+    def test_h6_multi_consumer_breaks(self):
+        g = make_branchy_graph()
+        _, _, plan = build(g, big_spm_machine())
+        # 'stem' feeds three branches: it must not be interior to any
+        # stratum that spans the branch point.
+        assert not plan.is_interior("stem")
+
+    def test_h7_channel_partition_breaks(self):
+        g = make_chain_graph()
+        npu = big_spm_machine()
+        gp = partition_graph(g, npu)
+        sched = schedule_layers(g, gp)
+        # Force c2 to channel direction: the chain must split.
+        from repro.partition.partitioner import partition_layer
+        from repro.partition.direction import PartitionPolicy
+
+        forced = partition_layer(g.layer("c2"), npu, PartitionPolicy.CHANNEL_ONLY)
+        gp.layers["c2"] = forced
+        plan = build_strata(g, gp, sched, npu)
+        for stratum in plan.strata:
+            assert "c2" not in stratum.layer_names
+
+    def test_h8_rejects_when_sync_is_free(self):
+        g = make_chain_graph()
+        npu = big_spm_machine()
+        cheap_sync = dataclasses.replace(
+            npu, sync_base_cycles=0, sync_per_core_cycles=0
+        )
+        gp = partition_graph(g, cheap_sync)
+        sched = schedule_layers(g, gp)
+        plan = build_strata(
+            g, gp, sched, cheap_sync, include_roundtrip_gain=False
+        )
+        assert len(plan.strata) == 0
+
+    def test_spm_gating(self):
+        g = make_chain_graph()
+        npu = tiny_test_machine(3)
+        tiny_spm = dataclasses.replace(
+            npu,
+            cores=tuple(dataclasses.replace(c, spm_bytes=256) for c in npu.cores),
+        )
+        gp = partition_graph(g, tiny_spm)
+        sched = schedule_layers(g, gp)
+        plan = build_strata(g, gp, sched, tiny_spm)
+        assert len(plan.strata) == 0
+
+    def test_empty_schedule(self):
+        g = make_chain_graph()
+        npu = big_spm_machine()
+        gp = partition_graph(g, npu)
+        plan = build_strata(g, gp, [], npu)
+        assert plan.strata == ()
+
+
+class TestDataStructures:
+    def test_stratum_needs_two_layers(self):
+        entry = StratumEntry("x", (), ())
+        with pytest.raises(ValueError):
+            Stratum(entries=(entry,))
+
+    def test_entry_lookup(self):
+        g = make_chain_graph()
+        _, _, plan = build(g, big_spm_machine())
+        stratum = plan.strata[0]
+        assert stratum.entry("c2").layer_name == "c2"
+        with pytest.raises(KeyError):
+            stratum.entry("nope")
+
+    def test_top_and_bottom(self):
+        g = make_chain_graph()
+        _, _, plan = build(g, big_spm_machine())
+        stratum = plan.strata[0]
+        assert stratum.top.layer_name == "c1"
+        assert stratum.bottom.layer_name == "c3"

@@ -1,0 +1,181 @@
+"""Concurrent multi-network execution on disjoint core groups."""
+
+import dataclasses
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_model
+from repro.hw import homogeneous, tiny_test_machine
+from repro.sim import (
+    Tenant,
+    merge_programs,
+    run_concurrent,
+    simulate,
+    sub_machine,
+)
+
+from tests.conftest import make_chain_graph, make_mixed_graph
+
+
+@pytest.fixture
+def npu():
+    return tiny_test_machine(3)
+
+
+class TestTenantValidation:
+    def test_needs_cores(self):
+        with pytest.raises(ValueError):
+            Tenant("t", make_chain_graph(), cores=())
+
+    def test_duplicate_cores_rejected(self):
+        with pytest.raises(ValueError):
+            Tenant("t", make_chain_graph(), cores=(0, 0))
+
+    def test_overlapping_tenants_rejected(self, npu):
+        tenants = [
+            Tenant("a", make_chain_graph(), cores=(0, 1)),
+            Tenant("b", make_chain_graph(), cores=(1, 2)),
+        ]
+        with pytest.raises(ValueError):
+            run_concurrent(npu, tenants)
+
+    def test_empty_tenant_list_rejected(self, npu):
+        with pytest.raises(ValueError):
+            run_concurrent(npu, [])
+
+    def test_core_out_of_range(self, npu):
+        with pytest.raises(ValueError):
+            sub_machine(npu, [5], "x")
+
+
+class TestSubMachine:
+    def test_core_subset(self, npu):
+        sub = sub_machine(npu, [2, 0], "t")
+        assert sub.num_cores == 2
+        assert sub.cores[0] == npu.cores[2]
+        assert sub.bus_bytes_per_cycle == npu.bus_bytes_per_cycle
+
+
+class TestMerge:
+    def test_ids_and_cores_remapped(self, npu):
+        g = make_chain_graph()
+        p1 = compile_model(g, sub_machine(npu, [0], "a"), CompileOptions.single_core()).program
+        p2 = compile_model(g, sub_machine(npu, [2], "b"), CompileOptions.single_core()).program
+        merged = merge_programs([(p1, [0], "a"), (p2, [2], "b")], 3)
+        assert len(merged) == len(p1) + len(p2)
+        cores = {c.core for c in merged.commands}
+        assert cores == {0, 2}
+        # layer names are prefixed for attribution.
+        assert any(c.layer.startswith("b/") for c in merged.commands)
+
+    def test_merged_program_validates_and_runs(self, npu):
+        g = make_chain_graph()
+        p1 = compile_model(g, sub_machine(npu, [0, 1], "a"), CompileOptions.base()).program
+        p2 = compile_model(g, sub_machine(npu, [2], "b"), CompileOptions.single_core()).program
+        merged = merge_programs([(p1, [0, 1], "a"), (p2, [2], "b")], 3)
+        result = simulate(merged, npu)
+        assert result.makespan_cycles > 0
+
+    def test_core_map_too_small_rejected(self, npu):
+        g = make_chain_graph()
+        p1 = compile_model(g, sub_machine(npu, [0, 1], "a"), CompileOptions.base()).program
+        with pytest.raises(ValueError):
+            merge_programs([(p1, [0], "a")], 3)
+
+
+class TestRunConcurrent:
+    def test_two_tenants_complete(self, npu):
+        result = run_concurrent(
+            npu,
+            [
+                Tenant("a", make_chain_graph(), cores=(0, 1), options=CompileOptions.base()),
+                Tenant("b", make_mixed_graph(), cores=(2,), options=CompileOptions.single_core()),
+            ],
+        )
+        assert len(result.tenants) == 2
+        for t in result.tenants:
+            assert t.latency_us > 0
+            assert t.isolated_latency_us > 0
+        assert result.makespan_us == pytest.approx(
+            max(t.latency_us for t in result.tenants)
+        )
+
+    def test_interference_at_least_one(self, npu):
+        result = run_concurrent(
+            npu,
+            [
+                Tenant("a", make_chain_graph(), cores=(0,), options=CompileOptions.single_core()),
+                Tenant("b", make_chain_graph(), cores=(1,), options=CompileOptions.single_core()),
+            ],
+        )
+        for t in result.tenants:
+            assert t.interference >= 0.99  # never faster than alone
+
+    def test_bus_contention_shows_when_oversubscribed(self):
+        """Links that oversubscribe the bus make tenants interfere."""
+        # huge compute throughput makes the workload bandwidth-bound, so
+        # the 10+10 B/cy of demand against a 12 B/cy bus must show up.
+        npu = homogeneous(
+            2, dma_bytes_per_cycle=10.0, bus_bytes_per_cycle=12.0,
+            macs_per_cycle=4096, spm_bytes=64 * 1024, channel_alignment=4,
+        )
+        result = run_concurrent(
+            npu,
+            [
+                Tenant("a", make_chain_graph(), cores=(0,), options=CompileOptions.single_core()),
+                Tenant("b", make_chain_graph(), cores=(1,), options=CompileOptions.single_core()),
+            ],
+        )
+        assert any(t.interference > 1.05 for t in result.tenants)
+
+    def test_lookup_by_name(self, npu):
+        result = run_concurrent(
+            npu,
+            [Tenant("only", make_chain_graph(), cores=(0,), options=CompileOptions.single_core())],
+        )
+        assert result.tenant("only").name == "only"
+        with pytest.raises(KeyError):
+            result.tenant("ghost")
+
+
+class TestAutoAssign:
+    def test_finds_best_split(self, npu):
+        from repro.sim import auto_assign
+
+        heavy = make_mixed_graph()
+        light = make_chain_graph()
+        result = auto_assign(
+            npu,
+            [
+                Tenant("heavy", heavy, cores=(0,)),
+                Tenant("light", light, cores=(0,)),
+            ],
+        )
+        # heavy tenant should end up with more cores than the light one.
+        assert len(result.tenant("heavy").compiled.npu.cores) >= len(
+            result.tenant("light").compiled.npu.cores
+        )
+        # auto assignment is at least as good as the naive 1/2 split.
+        naive = run_concurrent(
+            npu,
+            [
+                Tenant("heavy", heavy, cores=(0,)),
+                Tenant("light", light, cores=(1, 2)),
+            ],
+        )
+        assert result.makespan_us <= naive.makespan_us + 1e-6
+
+    def test_single_tenant_gets_all_cores(self, npu):
+        from repro.sim import auto_assign
+
+        result = auto_assign(npu, [Tenant("only", make_chain_graph(), cores=(0,))])
+        assert len(result.tenant("only").compiled.npu.cores) == npu.num_cores
+
+    def test_too_many_tenants(self, npu):
+        from repro.sim import auto_assign
+
+        tenants = [
+            Tenant(f"t{i}", make_chain_graph(), cores=(0,)) for i in range(4)
+        ]
+        with pytest.raises(ValueError):
+            auto_assign(npu, tenants)

@@ -1,0 +1,62 @@
+"""Back-to-back frame pipelining."""
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_model
+from repro.hw import tiny_test_machine
+from repro.sim import measure_throughput, repeat_program, simulate
+
+from tests.conftest import make_chain_graph
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    npu = tiny_test_machine(2)
+    return compile_model(make_chain_graph(), npu, CompileOptions.base()), npu
+
+
+class TestRepeat:
+    def test_rejects_nonpositive(self, compiled):
+        model, _ = compiled
+        with pytest.raises(ValueError):
+            repeat_program(model.program, 0)
+
+    def test_command_count_scales(self, compiled):
+        model, _ = compiled
+        merged = repeat_program(model.program, 3)
+        assert len(merged) == 3 * len(model.program)
+
+    def test_frames_labelled(self, compiled):
+        model, _ = compiled
+        merged = repeat_program(model.program, 2)
+        assert any(c.layer.startswith("f0/") for c in merged.commands)
+        assert any(c.layer.startswith("f1/") for c in merged.commands)
+
+    def test_no_cross_frame_deps(self, compiled):
+        model, _ = compiled
+        n = len(model.program)
+        merged = repeat_program(model.program, 2)
+        for cmd in merged.commands[n:]:
+            assert all(d >= n for d in cmd.deps)
+
+
+class TestThroughput:
+    def test_per_frame_cost_at_most_latency(self, compiled):
+        """Pipelining across frames can only help (or be neutral)."""
+        model, npu = compiled
+        result = measure_throughput(model.program, npu, frames=4)
+        assert result.us_per_frame <= result.single_frame_latency_us * 1.01
+        assert result.pipelining_gain >= 0.99
+
+    def test_fps_consistent(self, compiled):
+        model, npu = compiled
+        result = measure_throughput(model.program, npu, frames=3)
+        assert result.frames_per_second == pytest.approx(
+            1e6 * 3 / result.makespan_us
+        )
+
+    def test_makespan_grows_with_frames(self, compiled):
+        model, npu = compiled
+        r2 = measure_throughput(model.program, npu, frames=2)
+        r4 = measure_throughput(model.program, npu, frames=4)
+        assert r4.makespan_us > r2.makespan_us

@@ -1,0 +1,149 @@
+"""Trace queries and RunStats aggregation."""
+
+import pytest
+
+from repro.compiler.program import CommandKind, Engine
+from repro.hw import tiny_test_machine
+from repro.sim.stats import collect_stats
+from repro.sim.trace import Trace, TraceEvent
+
+
+def event(cid, core, kind, start, end, nbytes=0, macs=0, layer="l", own_ready=None):
+    engine = {
+        CommandKind.LOAD_INPUT: Engine.LOAD,
+        CommandKind.LOAD_WEIGHT: Engine.LOAD,
+        CommandKind.HALO_RECV: Engine.LOAD,
+        CommandKind.COMPUTE: Engine.COMPUTE,
+        CommandKind.STORE_OUTPUT: Engine.STORE,
+        CommandKind.HALO_SEND: Engine.STORE,
+        CommandKind.BARRIER: Engine.CTRL,
+    }[kind]
+    return TraceEvent(
+        cid=cid,
+        core=core,
+        engine=engine,
+        kind=kind,
+        layer=layer,
+        tag="",
+        num_bytes=nbytes,
+        macs=macs,
+        start=start,
+        end=end,
+        own_ready=start if own_ready is None else own_ready,
+        dep_ready=start,
+    )
+
+
+class TestTrace:
+    def test_makespan(self):
+        trace = Trace(
+            [
+                event(0, 0, CommandKind.COMPUTE, 0, 10),
+                event(1, 0, CommandKind.COMPUTE, 10, 25),
+            ]
+        )
+        assert trace.makespan == 25
+
+    def test_busy_intervals_merge(self):
+        trace = Trace(
+            [
+                event(0, 0, CommandKind.LOAD_INPUT, 0, 10, nbytes=1),
+                event(1, 0, CommandKind.COMPUTE, 5, 20, macs=1),
+                event(2, 0, CommandKind.STORE_OUTPUT, 30, 35, nbytes=1),
+            ]
+        )
+        assert trace.busy_intervals(0) == [(0, 20), (30, 35)]
+        assert trace.busy_time(0) == 25
+
+    def test_busy_time_by_engine(self):
+        trace = Trace(
+            [
+                event(0, 0, CommandKind.LOAD_INPUT, 0, 10, nbytes=1),
+                event(1, 0, CommandKind.COMPUTE, 5, 20, macs=1),
+            ]
+        )
+        assert trace.busy_time(0, Engine.LOAD) == 10
+        assert trace.busy_time(0, Engine.COMPUTE) == 15
+
+    def test_filters(self):
+        trace = Trace(
+            [
+                event(0, 0, CommandKind.COMPUTE, 0, 1, layer="a"),
+                event(1, 1, CommandKind.COMPUTE, 0, 1, layer="b"),
+            ]
+        )
+        assert len(trace.for_core(0)) == 1
+        assert len(trace.for_layer("b")) == 1
+        assert len(trace.for_layers(["a", "b"])) == 2
+        assert len(trace.of_kind(CommandKind.COMPUTE)) == 2
+
+    def test_remote_wait(self):
+        e = event(0, 0, CommandKind.BARRIER, 10, 15, own_ready=4)
+        assert e.remote_wait == 6
+        assert e.duration == 5
+
+
+class TestStats:
+    def make_trace(self):
+        return Trace(
+            [
+                event(0, 0, CommandKind.LOAD_INPUT, 0, 10, nbytes=100),
+                event(1, 0, CommandKind.LOAD_WEIGHT, 10, 12, nbytes=20),
+                event(2, 0, CommandKind.COMPUTE, 12, 30, macs=500),
+                event(3, 0, CommandKind.STORE_OUTPUT, 30, 40, nbytes=50),
+                event(4, 1, CommandKind.HALO_RECV, 0, 5, nbytes=16, own_ready=0),
+                event(5, 0, CommandKind.BARRIER, 40, 45, own_ready=38),
+                event(6, 1, CommandKind.BARRIER, 40, 45, own_ready=40),
+            ]
+        )
+
+    def test_per_core_bytes(self):
+        npu = tiny_test_machine(2)
+        stats = collect_stats(self.make_trace(), npu)
+        assert stats.cores[0].transfer_bytes == 170
+        assert stats.cores[1].transfer_bytes == 16
+        assert stats.cores[0].bytes_by_kind[CommandKind.LOAD_INPUT] == 100
+
+    def test_latency_conversion(self):
+        npu = tiny_test_machine(2)  # 1 GHz
+        stats = collect_stats(self.make_trace(), npu)
+        assert stats.latency_us == pytest.approx(45 / 1000.0)
+
+    def test_idle(self):
+        npu = tiny_test_machine(2)
+        stats = collect_stats(self.make_trace(), npu)
+        # core 0 busy [0, 45) -> idle 0; core 1 busy [0,5) + [40,45).
+        assert stats.cores[0].idle_cycles == pytest.approx(0.0)
+        assert stats.cores[1].idle_cycles == pytest.approx(35.0)
+
+    def test_sync_samples(self):
+        npu = tiny_test_machine(2)
+        stats = collect_stats(self.make_trace(), npu)
+        # two barriers (waits 2 and 0 plus durations 5) and one halo recv
+        # with no wait.
+        assert len(stats.sync_overhead_samples) == 3
+        assert stats.num_barriers == 1
+        assert stats.num_halo_exchanges == 1
+
+    def test_performance_inverse_latency(self):
+        npu = tiny_test_machine(2)
+        stats = collect_stats(self.make_trace(), npu)
+        assert stats.performance == pytest.approx(1.0 / stats.latency_us)
+
+    def test_total_macs(self):
+        npu = tiny_test_machine(2)
+        stats = collect_stats(self.make_trace(), npu)
+        assert stats.total_macs == 500
+
+    def test_mean_std_helpers(self):
+        npu = tiny_test_machine(2)
+        stats = collect_stats(self.make_trace(), npu)
+        assert stats.transfer_mean_kb == pytest.approx((170 + 16) / 2 / 1024)
+        assert stats.idle_mean_us >= 0
+        assert stats.idle_std_us >= 0
+
+    def test_empty_trace(self):
+        npu = tiny_test_machine(1)
+        stats = collect_stats(Trace([]), npu)
+        assert stats.latency_us == 0.0
+        assert stats.performance == 0.0

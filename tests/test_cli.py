@@ -1,0 +1,106 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestModels:
+    def test_lists_zoo(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "InceptionV3" in out and "UNet" in out
+
+
+class TestDescribe:
+    def test_basic(self, capsys):
+        assert main(["describe", "MobileNetV2"]) == 0
+        out = capsys.readouterr().out
+        assert "MACs" in out
+
+    def test_layers_flag(self, capsys):
+        assert main(["describe", "stem", "--layers"]) == 0
+        out = capsys.readouterr().out
+        assert "stem_conv0" in out
+
+    def test_unknown_model(self):
+        with pytest.raises(SystemExit):
+            main(["describe", "ResNet"])
+
+
+class TestCompile:
+    def test_summary_printed(self, capsys):
+        assert main(["compile", "stem", "--config", "halo"]) == 0
+        out = capsys.readouterr().out
+        assert "halo exchanges" in out
+
+
+class TestRun:
+    def test_run_with_energy(self, capsys):
+        assert main(["run", "stem", "--config", "base", "--energy"]) == 0
+        out = capsys.readouterr().out
+        assert "latency" in out and "energy" in out
+
+    def test_run_single_core(self, capsys):
+        assert main(["run", "stem", "--config", "1core"]) == 0
+        out = capsys.readouterr().out
+        assert "barriers:  0" in out
+
+    def test_chrome_trace_export(self, capsys, tmp_path):
+        path = tmp_path / "t.json"
+        assert main(["run", "stem", "--chrome-trace", str(path)]) == 0
+        assert json.loads(path.read_text())["traceEvents"]
+
+    def test_gantt(self, capsys):
+        assert main(["run", "stem", "--gantt", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "core0" in out
+
+    def test_rebalance(self, capsys):
+        assert main(["run", "stem", "--rebalance"]) == 0
+        out = capsys.readouterr().out
+        assert "rebalanced" in out
+
+    def test_homogeneous_machine(self, capsys):
+        assert main(["run", "stem", "--machine", "hom2", "--config", "base"]) == 0
+
+    def test_bad_machine(self):
+        with pytest.raises(SystemExit):
+            main(["run", "stem", "--machine", "tpu"])
+
+
+class TestAudit:
+    def test_audit_clean(self, capsys):
+        assert main(["audit", "stem", "--config", "base"]) == 0
+        out = capsys.readouterr().out
+        assert "no violations" in out
+
+    def test_audit_flags_violations(self, capsys):
+        # the stem on a single tiny-SPM homogeneous machine cannot fit.
+        code = main(["audit", "stem", "--config", "base", "--tolerance", "0.0001"])
+        assert code == 1
+
+
+class TestSweepAndTables:
+    def test_sweep(self, capsys):
+        assert main(["sweep", "stem"]) == 0
+        out = capsys.readouterr().out
+        for label in ("1-core", "Base", "+Halo", "+Stratum"):
+            assert label in out
+
+    def test_table4(self, capsys):
+        assert main(["table4", "stem"]) == 0
+        out = capsys.readouterr().out
+        assert "adaptive" in out and "spatial" in out
+
+    def test_run_critical_path(self, capsys):
+        assert main(["run", "stem", "--config", "base", "--critical-path"]) == 0
+        out = capsys.readouterr().out
+        assert "Critical path breakdown" in out
+
+    def test_table5(self, capsys):
+        assert main(["table5"]) == 0
+        out = capsys.readouterr().out
+        assert "Combined" in out

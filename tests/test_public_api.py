@@ -1,0 +1,54 @@
+"""Public API surface: the names the README promises exist and work."""
+
+import pytest
+
+import repro
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_readme_quickstart(self):
+        """The exact flow from the package docstring."""
+        from repro import CompileOptions, compile_model, simulate
+        from repro.hw import tiny_test_machine
+        from repro.models import GraphBuilder
+
+        b = GraphBuilder("api")
+        x = b.input(16, 16, 8)
+        b.conv(x, 8, kernel=3)
+        graph = b.build()
+        npu = tiny_test_machine(2)
+        compiled = compile_model(graph, npu, CompileOptions.stratum_config())
+        result = simulate(compiled.program, npu)
+        assert result.latency_us > 0
+        assert "api" in compiled.describe()
+
+
+class TestSubpackageExports:
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.ir",
+            "repro.hw",
+            "repro.cost",
+            "repro.partition",
+            "repro.schedule",
+            "repro.compiler",
+            "repro.sim",
+            "repro.runtime",
+            "repro.models",
+            "repro.analysis",
+        ],
+    )
+    def test_all_lists_are_valid(self, module):
+        import importlib
+
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert getattr(mod, name, None) is not None, f"{module}.{name}"
