@@ -3,44 +3,57 @@ across the six benchmark CNNs, plus the speedup summary quoted in the
 abstract (Base ~2x ceiling, +Halo ~1.07x, +Stratum ~1.23x cumulative,
 ~2.1x over single core).
 
+The sweep itself runs through :func:`repro.analysis.run_sweep`, so
+compilation goes through the fingerprint-keyed program cache and the
+timed number is the real cost of regenerating the figure.
+
 Run with ``pytest benchmarks/bench_fig11_performance.py --benchmark-only -s``.
 """
 
 from __future__ import annotations
 
 import statistics
+from typing import Dict, List
 
 import pytest
 
-from repro.analysis import format_table, speedups, sweep_configurations
+from repro.analysis import (
+    SweepRecord,
+    build_grid,
+    format_table,
+    record_speedups,
+    run_sweep,
+)
 from repro.models import ZOO
 
 from benchmarks.conftest import emit
 
 CONFIG_LABELS = ["1-core", "Base", "+Halo", "+Stratum"]
 
-_sweeps = {}
+_sweeps: Dict[str, List[SweepRecord]] = {}
 
 
-def _sweep(npu, name):
+def _sweep(npu, name) -> List[SweepRecord]:
     if name not in _sweeps:
-        info = next(m for m in ZOO if m.name == name)
-        _sweeps[name] = sweep_configurations(info.factory(), npu)
+        _sweeps[name] = run_sweep(build_grid([name]), npu, max_workers=1)
     return _sweeps[name]
+
+
+def _latencies(records: List[SweepRecord]) -> Dict[str, float]:
+    return {r.label: r.latency_us for r in records}
 
 
 @pytest.mark.parametrize("model", [m.name for m in ZOO])
 def test_fig11_model(benchmark, npu, model):
     """Wall-time of the full compile+simulate sweep; simulated metrics in
     extra_info."""
-    result = benchmark.pedantic(
+    records = benchmark.pedantic(
         lambda: _sweep(npu, model), rounds=1, iterations=1
     )
+    lat = _latencies(records)
     for label in CONFIG_LABELS:
-        benchmark.extra_info[f"{label}_latency_us"] = round(
-            result[label].latency_us, 1
-        )
-    s = speedups(result)
+        benchmark.extra_info[f"{label}_latency_us"] = round(lat[label], 1)
+    s = record_speedups(records)[model]
     benchmark.extra_info["speedup_vs_1core"] = round(s["+Stratum"], 3)
 
 
@@ -51,8 +64,7 @@ def test_fig11_report(benchmark, npu, out_dir):
     rows = []
     ratios = {"base": [], "halo": [], "stratum": [], "total": []}
     for info in ZOO:
-        sweep = _sweep(npu, info.name)
-        lat = {label: sweep[label].latency_us for label in CONFIG_LABELS}
+        lat = _latencies(_sweep(npu, info.name))
         perf = {label: 1000.0 / lat[label] for label in CONFIG_LABELS}
         ratios["base"].append(lat["1-core"] / lat["Base"])
         ratios["halo"].append(lat["Base"] / lat["+Halo"])

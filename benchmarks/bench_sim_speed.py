@@ -1,0 +1,162 @@
+"""Simulator throughput and Figure-11 sweep wall-time.
+
+Two measurements, both against the retained seed implementation:
+
+* simulator throughput (trace events per second): the event-driven
+  scheduler in :mod:`repro.sim.simulator` vs the queue-scanning
+  reference in :mod:`repro.sim.reference_scheduler`, on the same
+  compiled program;
+* the full Figure 11 grid (model zoo x four configurations x three
+  seeds): the cache-backed :func:`repro.analysis.run_sweep` vs the seed
+  code path (one ``compile_model`` + ``simulate_reference`` per grid
+  point, as ``sweep_configurations`` ran per seed before the cache).
+
+Results land in ``BENCH_sim.json`` at the repo root (and a text copy
+under ``benchmarks/out/``).  Run standalone with
+``python benchmarks/bench_sim_speed.py`` or through pytest with
+``pytest benchmarks/bench_sim_speed.py --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Dict, List
+
+from repro.analysis import build_grid, run_sweep
+from repro.analysis.compare import paper_configurations
+from repro.compiler import ProgramCache, compile_model
+from repro.hw import exynos2100_like
+from repro.models import ZOO, get_model
+from repro.sim import collect_stats, simulate, simulate_reference
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_sim.json"
+
+SEEDS = (0, 1, 2)
+SIM_MODEL = "InceptionV3"
+SIM_ROUNDS = 5
+
+
+def measure_sim_throughput(npu) -> Dict[str, float]:
+    """Events/second of both schedulers on one compiled program."""
+    compiled = compile_model(
+        get_model(SIM_MODEL), npu, paper_configurations()[-1]
+    )
+    program = compiled.program
+    simulate(program, npu, seed=0)  # warm the plan cache; exclude from timing
+
+    t0 = time.perf_counter()
+    for i in range(SIM_ROUNDS):
+        result = simulate(program, npu, seed=i)
+    new_elapsed = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for i in range(SIM_ROUNDS):
+        simulate_reference(program, npu, seed=i)
+    ref_elapsed = time.perf_counter() - t0
+
+    events = len(result.trace.events) * SIM_ROUNDS
+    return {
+        "sim_model": SIM_MODEL,
+        "sim_rounds": SIM_ROUNDS,
+        "events_per_sec_event_driven": events / new_elapsed,
+        "events_per_sec_reference": events / ref_elapsed,
+        "sim_speedup": ref_elapsed / new_elapsed,
+    }
+
+
+def _seed_implementation_sweep(npu, models: List[str]) -> None:
+    """The pre-cache code path for a multi-seed grid: every grid point
+    compiles from scratch, simulates with the reference scheduler, and
+    aggregates stats -- exactly what per-seed ``sweep_configurations``
+    calls used to do."""
+    for seed in SEEDS:
+        for model in models:
+            for options in paper_configurations():
+                machine = npu.single_core() if options.is_single_core else npu
+                compiled = compile_model(get_model(model), machine, options)
+                sim = simulate_reference(compiled.program, machine, seed=seed)
+                collect_stats(sim.trace, machine)
+
+
+def measure_sweep_walltime(npu) -> Dict[str, float]:
+    """Wall-time of the Figure 11 grid, seed implementation vs current."""
+    models = [m.name for m in ZOO]
+
+    t0 = time.perf_counter()
+    _seed_implementation_sweep(npu, models)
+    seed_elapsed = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    records = run_sweep(
+        build_grid(models, seeds=list(SEEDS)),
+        npu,
+        max_workers=1,
+        cache=ProgramCache(),
+    )
+    new_elapsed = time.perf_counter() - t0
+
+    assert len(records) == len(models) * 4 * len(SEEDS)
+    return {
+        "sweep_grid_points": len(records),
+        "sweep_seconds_seed_impl": seed_elapsed,
+        "sweep_seconds_current": new_elapsed,
+        "sweep_speedup": seed_elapsed / new_elapsed,
+    }
+
+
+def collect(npu) -> Dict[str, float]:
+    results = measure_sim_throughput(npu)
+    results.update(measure_sweep_walltime(npu))
+    return results
+
+
+def _render(results: Dict[str, float]) -> str:
+    return "\n".join(
+        [
+            "Simulator speed (event-driven scheduler vs reference):",
+            f"  events/sec (event-driven): {results['events_per_sec_event_driven']:,.0f}",
+            f"  events/sec (reference)   : {results['events_per_sec_reference']:,.0f}",
+            f"  simulator speedup        : {results['sim_speedup']:.2f}x",
+            "Figure 11 sweep wall-time "
+            f"({results['sweep_grid_points']} grid points, {len(SEEDS)} seeds):",
+            f"  seed implementation      : {results['sweep_seconds_seed_impl']:.2f}s",
+            f"  cached + event-driven    : {results['sweep_seconds_current']:.2f}s",
+            f"  sweep speedup            : {results['sweep_speedup']:.2f}x",
+        ]
+    )
+
+
+def _persist(results: Dict[str, float]) -> None:
+    RESULT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+
+def test_sim_speed(benchmark, npu, out_dir):
+    """Times both schedulers and the full sweep; asserts the acceptance
+    threshold (>= 3x on the Figure 11 sweep wall-time)."""
+    results = benchmark.pedantic(lambda: collect(npu), rounds=1, iterations=1)
+    for key, value in results.items():
+        if isinstance(value, float):
+            benchmark.extra_info[key] = round(value, 3)
+    _persist(results)
+
+    from benchmarks.conftest import emit
+
+    emit(out_dir, "sim_speed.txt", _render(results))
+    assert results["sim_speedup"] > 1.5
+    assert results["sweep_speedup"] >= 3.0
+
+
+def main() -> int:
+    npu = exynos2100_like()
+    results = collect(npu)
+    _persist(results)
+    print(_render(results))
+    print(f"\nwritten to {RESULT_PATH}")
+    return 0 if results["sweep_speedup"] >= 3.0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,15 @@ from repro.analysis.compare import (
     sweep_configurations,
 )
 from repro.analysis.gantt import exposed_waits, render_gantt
+from repro.analysis.sweep import (
+    SweepJob,
+    SweepRecord,
+    build_grid,
+    record_speedups,
+    records_by_model,
+    resolve_model,
+    run_sweep,
+)
 from repro.analysis.layer_report import (
     LayerProfile,
     profile_layers,
@@ -60,8 +69,15 @@ __all__ = [
     "profile_layers",
     "top_layers",
     "run_configuration",
+    "run_sweep",
+    "record_speedups",
+    "records_by_model",
+    "resolve_model",
     "speedups",
     "sweep_configurations",
+    "SweepJob",
+    "SweepRecord",
+    "build_grid",
     "table4_profiles",
     "to_chrome_trace",
     "write_chrome_trace",

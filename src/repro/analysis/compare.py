@@ -3,15 +3,19 @@
 ``run_configuration`` compiles + simulates one (model, machine, options)
 triple; ``sweep_configurations`` runs the paper's four cumulative
 configurations and returns everything needed to print Figure 11 and the
-speedup summary.
+speedup summary.  Both compile through the fingerprint-keyed
+:class:`repro.compiler.cache.ProgramCache`, so re-running a
+configuration at another seed reuses the compiled program; the grid
+runner in :mod:`repro.analysis.sweep` builds on the same pieces.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
-from repro.compiler.compiler import CompiledModel, compile_model
+from repro.compiler.cache import ProgramCache, compile_cached
+from repro.compiler.compiler import CompiledModel
 from repro.compiler.options import CompileOptions
 from repro.hw.config import NPUConfig
 from repro.ir.graph import Graph
@@ -42,10 +46,17 @@ def run_configuration(
     npu: NPUConfig,
     options: CompileOptions,
     seed: int = 0,
+    cache: Optional[ProgramCache] = None,
 ) -> ConfigResult:
-    """Compile and simulate one configuration."""
-    machine = npu.single_core() if options.label == "1-core" else npu
-    compiled = compile_model(graph, machine, options)
+    """Compile and simulate one configuration.
+
+    Single-core dispatch goes through ``options.is_single_core`` -- the
+    structural predicate -- rather than the display label, so relabelled
+    or custom configurations shrink the machine exactly when they target
+    one core.
+    """
+    machine = npu.single_core() if options.is_single_core else npu
+    compiled = compile_cached(graph, machine, options, cache=cache)
     sim = simulate(compiled.program, machine, seed=seed)
     stats = collect_stats(sim.trace, machine)
     return ConfigResult(
@@ -68,19 +79,42 @@ def sweep_configurations(
     npu: NPUConfig,
     options_list: Optional[Sequence[CompileOptions]] = None,
     seed: int = 0,
+    cache: Optional[ProgramCache] = None,
 ) -> Dict[str, ConfigResult]:
     """Run all configurations on one model; keyed by config label."""
     options_list = options_list or paper_configurations()
     results: Dict[str, ConfigResult] = {}
     for options in options_list:
-        result = run_configuration(graph, npu, options, seed=seed)
+        result = run_configuration(graph, npu, options, seed=seed, cache=cache)
         results[result.label] = result
     return results
 
 
+def _baseline(results: Dict[str, ConfigResult]) -> ConfigResult:
+    """The single-core baseline of a sweep, found structurally."""
+    for r in results.values():
+        if r.compiled.options.is_single_core:
+            return r
+    if "1-core" in results:  # pragma: no cover - relabelled baseline
+        return results["1-core"]
+    raise ValueError("sweep must include the 1-core baseline")
+
+
 def speedups(results: Dict[str, ConfigResult]) -> Dict[str, float]:
-    """Per-configuration speedup relative to the 1-core run."""
-    if "1-core" not in results:
-        raise ValueError("sweep must include the 1-core baseline")
-    base = results["1-core"].latency_us
-    return {label: base / r.latency_us for label, r in results.items()}
+    """Per-configuration speedup relative to the 1-core run.
+
+    A configuration that somehow reports zero latency maps to
+    ``float("inf")`` rather than raising; a zero-latency *baseline* is
+    always a bug (every divisor would be meaningless) and raises.
+    """
+    baseline = _baseline(results)
+    base = baseline.latency_us
+    if base <= 0:
+        raise ValueError(
+            f"1-core baseline reports non-positive latency ({base} us); "
+            "the sweep cannot be normalized"
+        )
+    return {
+        label: (base / r.latency_us) if r.latency_us > 0 else float("inf")
+        for label, r in results.items()
+    }

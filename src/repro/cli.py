@@ -17,13 +17,14 @@ import sys
 from typing import List, Optional
 
 from repro.analysis import (
+    build_grid,
     format_table,
+    record_speedups,
     render_layer_report,
     region_summary,
     render_gantt,
     run_configuration,
-    speedups,
-    sweep_configurations,
+    run_sweep,
     table4_profiles,
 )
 from repro.analysis.export import write_chrome_trace
@@ -120,7 +121,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
     graph = _graph(args.model)
     npu = _machine(args.machine)
     options = CONFIGS[args.config]()
-    if options.label == "1-core":
+    if options.is_single_core:
         npu = npu.single_core()
     compiled = compile_model(graph, npu, options)
     print(compiled.describe())
@@ -131,7 +132,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     graph = _graph(args.model)
     npu = _machine(args.machine)
     options = CONFIGS[args.config]()
-    if options.label == "1-core":
+    if options.is_single_core:
         npu = npu.single_core()
     if args.rebalance:
         compiled, result, report = profile_guided_rebalance(
@@ -173,26 +174,39 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    graph = _graph(args.model)
     npu = _machine(args.machine)
-    sweep = sweep_configurations(graph, npu, seed=args.seed)
-    s = speedups(sweep)
-    rows = [
-        [
-            label,
-            f"{r.latency_us:,.1f}us",
-            f"{s[label]:.2f}x",
-            r.stats.num_barriers,
-            r.stats.num_halo_exchanges,
-            len(r.compiled.strata.strata),
-        ]
-        for label, r in sweep.items()
-    ]
+    _graph(args.model)  # validate the name before fanning out
+    if args.seeds < 1:
+        raise SystemExit("--seeds must be at least 1")
+    seeds = list(range(args.seed, args.seed + args.seeds))
+    jobs = build_grid([args.model], seeds=seeds)
+    records = run_sweep(jobs, npu, max_workers=args.jobs)
+    s = record_speedups(records)[args.model]
+
+    by_label: dict = {}
+    for r in records:
+        by_label.setdefault(r.label, []).append(r)
+    rows = []
+    for label, rs in by_label.items():
+        mean_latency = sum(r.latency_us for r in rs) / len(rs)
+        rows.append(
+            [
+                label,
+                f"{mean_latency:,.1f}us",
+                f"{s[label]:.2f}x",
+                rs[0].num_barriers,
+                rs[0].num_halo_exchanges,
+                rs[0].num_strata,
+            ]
+        )
+    title = f"{args.model} on {npu.name}"
+    if len(seeds) > 1:
+        title += f" (mean of {len(seeds)} seeds)"
     print(
         format_table(
             ["Config", "Latency", "Speedup", "Barriers", "Halo", "Strata"],
             rows,
-            title=f"{args.model} on {npu.name}",
+            title=title,
         )
     )
     return 0
@@ -231,7 +245,7 @@ def cmd_audit(args: argparse.Namespace) -> int:
     graph = _graph(args.model)
     npu = _machine(args.machine)
     options = CONFIGS[args.config]()
-    if options.label == "1-core":
+    if options.is_single_core:
         npu = npu.single_core()
     compiled = compile_model(graph, npu, options)
     usages, violations = audit_spm(compiled, tolerance=args.tolerance)
@@ -343,6 +357,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sweep", help="all four paper configurations")
     common(p, config=False)
+    p.add_argument(
+        "--seeds", type=int, default=1, metavar="N",
+        help="simulate N consecutive seeds starting at --seed and average",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sweep grid (default: serial)",
+    )
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("audit", help="verify compiled SPM working sets")

@@ -6,6 +6,15 @@ from repro.compiler.allocator import (
     InputMode,
     plan_forwarding,
 )
+from repro.compiler.cache import (
+    ProgramCache,
+    compile_cached,
+    compile_key,
+    default_cache,
+    graph_fingerprint,
+    machine_fingerprint,
+    options_fingerprint,
+)
 from repro.compiler.compiler import CompiledModel, compile_model
 from repro.compiler.feedback import (
     LayerImbalance,
@@ -42,8 +51,15 @@ __all__ = [
     "InputMode",
     "Program",
     "ProgramBuilder",
+    "ProgramCache",
     "ScheduleStrategy",
+    "compile_cached",
+    "compile_key",
     "compile_model",
+    "default_cache",
+    "graph_fingerprint",
+    "machine_fingerprint",
+    "options_fingerprint",
     "load_program",
     "program_from_dict",
     "program_to_dict",

@@ -1,0 +1,151 @@
+"""Fingerprint-keyed cache of compiled programs.
+
+Every experiment in the paper is a sweep of compile+simulate runs, and a
+grid of (model x configuration x seed) points re-compiles the same
+(graph, machine, options) triple once per seed.  This module gives each
+triple a stable content fingerprint and memoizes :func:`repro.compiler.
+compiler.compile_model` on it, so a sweep pays for compilation once per
+distinct configuration no matter how many seeds (or repeated benchmark
+rounds) ride on top.
+
+Fingerprints are content hashes, not object identities: two structurally
+identical graphs built by separate factory calls (the normal case when
+sweep workers rebuild zoo models from their names) map to the same key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Dict, Optional, Tuple
+
+from repro.compiler.compiler import CompiledModel, compile_model
+from repro.compiler.options import CompileOptions
+from repro.hw.config import NPUConfig
+from repro.hw.serialize import machine_to_dict
+from repro.ir.graph import Graph
+
+
+def _digest(payload: object) -> str:
+    """Stable hex digest of any JSON-serializable payload."""
+    text = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """Content hash of a graph: layers, operators, wiring, shapes, dtypes.
+
+    Operators are immutable dataclasses, so ``repr`` is a complete and
+    stable description of their parameters.
+    """
+    layers = [
+        (
+            layer.name,
+            repr(layer.op),
+            layer.inputs,
+            repr(layer.output_shape),
+            layer.dtype.value,
+        )
+        for layer in graph.layers()
+    ]
+    return _digest([graph.name, layers])
+
+
+def machine_fingerprint(npu: NPUConfig) -> str:
+    """Content hash of a machine description."""
+    return _digest(machine_to_dict(npu))
+
+
+def options_fingerprint(options: CompileOptions) -> str:
+    """Content hash of compile options (heuristic set canonicalized)."""
+    payload = dataclasses.asdict(options)
+    payload["enabled_heuristics"] = sorted(options.enabled_heuristics)
+    payload["partition_policy"] = options.partition_policy.value
+    payload["schedule_strategy"] = options.schedule_strategy.value
+    return _digest(payload)
+
+
+def compile_key(graph: Graph, npu: NPUConfig, options: CompileOptions) -> str:
+    """The cache key of one (graph, machine, options) compilation."""
+    return "-".join(
+        (
+            graph_fingerprint(graph),
+            machine_fingerprint(npu),
+            options_fingerprint(options),
+        )
+    )
+
+
+class ProgramCache:
+    """In-memory memoization of compiled programs by content fingerprint.
+
+    Bounded FIFO: ``max_entries`` caps memory for long-running sweeps
+    (a CompiledModel holds the full program and compiler decisions).
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: Dict[str, CompiledModel] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Tuple[int, int]:
+        """(hits, misses) since construction."""
+        return self.hits, self.misses
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def get(
+        self, graph: Graph, npu: NPUConfig, options: CompileOptions
+    ) -> Tuple[str, Optional[CompiledModel]]:
+        key = compile_key(graph, npu, options)
+        return key, self._entries.get(key)
+
+    def compile(
+        self, graph: Graph, npu: NPUConfig, options: CompileOptions
+    ) -> CompiledModel:
+        """Compile through the cache; hit returns the memoized model."""
+        key, cached = self.get(graph, npu, options)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        compiled = compile_model(graph, npu, options)
+        if len(self._entries) >= self.max_entries:
+            # FIFO eviction: drop the oldest insertion.
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+        self._entries[key] = compiled
+        return compiled
+
+
+#: Process-wide default cache; sweep workers inherit one per process.
+_DEFAULT_CACHE = ProgramCache()
+
+
+def default_cache() -> ProgramCache:
+    return _DEFAULT_CACHE
+
+
+def compile_cached(
+    graph: Graph,
+    npu: NPUConfig,
+    options: Optional[CompileOptions] = None,
+    cache: Optional[ProgramCache] = None,
+) -> CompiledModel:
+    """Drop-in cached variant of :func:`compile_model`.
+
+    Only the plain pipeline is memoized; profile-guided recompilation
+    (``weight_overrides``) stays on :func:`compile_model` because its
+    input includes measured rates that are not part of the fingerprint.
+    """
+    options = options or CompileOptions.base()
+    cache = cache if cache is not None else _DEFAULT_CACHE
+    return cache.compile(graph, npu, options)

@@ -119,8 +119,20 @@ class CompileOptions:
         return cls(partition_policy=PartitionPolicy.SINGLE_CORE)
 
     @property
+    def is_single_core(self) -> bool:
+        """True when this configuration is the paper's 1-core baseline.
+
+        Runners use this predicate -- not the display ``label`` -- to
+        decide whether to shrink the machine to one core, so a custom
+        configuration that happens to be labelled "1-core" (or a
+        relabelled single-core one) is dispatched by what it *is* rather
+        than by what it is called.
+        """
+        return self.partition_policy is PartitionPolicy.SINGLE_CORE
+
+    @property
     def label(self) -> str:
-        if self.partition_policy is PartitionPolicy.SINGLE_CORE:
+        if self.is_single_core:
             return "1-core"
         if self.stratum and self.halo_exchange:
             return "+Stratum"

@@ -11,6 +11,7 @@ from repro.sim.multitenant import (
     run_concurrent,
     sub_machine,
 )
+from repro.sim.reference_scheduler import simulate_reference
 from repro.sim.simulator import SimResult, simulate
 from repro.sim.throughput import ThroughputResult, measure_throughput, repeat_program
 from repro.sim.stats import CoreStats, RunStats, collect_stats
@@ -39,4 +40,5 @@ __all__ = [
     "TraceEvent",
     "collect_stats",
     "simulate",
+    "simulate_reference",
 ]

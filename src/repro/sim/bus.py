@@ -7,12 +7,17 @@ among the rest.  This is the standard processor-sharing fluid
 approximation of an interleaved memory bus and is what creates the
 contention effects the paper measures (halo traffic "still takes up the
 bandwidth of the system bus", Section 3.2).
+
+The arithmetic here is load-bearing for reproducibility: the simulator
+promises bit-identical traces for equal seeds, so any rewrite of these
+methods must produce the exact same float sequences (same operations in
+the same order), not merely equivalent math.
 """
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Dict, List, Tuple
+import operator
+from typing import Dict, List
 
 # Residual bytes below this count as finished.  The scale matters: the
 # simulation clock sits in the 1e5..1e7 cycle range, where float64 ulp is
@@ -20,13 +25,17 @@ from typing import Dict, List, Tuple
 # corresponding eta never rounds to zero time (a livelock otherwise).
 _EPS = 1e-6
 
+_by_cap = operator.attrgetter("cap")
 
-@dataclasses.dataclass
+
 class _Transfer:
-    cid: int
-    remaining: float
-    cap: float
-    rate: float = 0.0
+    __slots__ = ("cid", "remaining", "cap", "rate")
+
+    def __init__(self, cid: int, remaining: float, cap: float, rate: float = 0.0):
+        self.cid = cid
+        self.remaining = remaining
+        self.cap = cap
+        self.rate = rate
 
 
 class FluidBus:
@@ -48,25 +57,38 @@ class FluidBus:
             raise ValueError(f"transfer {cid} already active")
         if link_cap <= 0:
             raise ValueError("link capacity must be positive")
-        self._active[cid] = _Transfer(cid=cid, remaining=float(num_bytes), cap=link_cap)
+        self._active[cid] = _Transfer(cid, float(num_bytes), link_cap)
         self._recompute_rates()
 
     def _recompute_rates(self) -> None:
         """Water-filling allocation of the bus among active transfers."""
-        transfers = sorted(self._active.values(), key=lambda tr: tr.cap)
+        active = self._active
         budget = self.total_bandwidth
+        if len(active) == 1:
+            for tr in active.values():
+                tr.rate = tr.cap if tr.cap <= budget else budget
+            return
+        transfers = sorted(active.values(), key=_by_cap)
         n = len(transfers)
         for i, tr in enumerate(transfers):
             fair = budget / (n - i)
-            tr.rate = min(tr.cap, fair)
-            budget -= tr.rate
+            cap = tr.cap
+            rate = cap if cap <= fair else fair
+            tr.rate = rate
+            budget -= rate
 
     def eta(self) -> float:
         """Time until the next active transfer finishes (inf when idle)."""
         best = float("inf")
         for tr in self._active.values():
-            if tr.rate > 0:
-                best = min(best, max(0.0, tr.remaining) / tr.rate)
+            rate = tr.rate
+            if rate > 0:
+                remaining = tr.remaining
+                if remaining < 0.0:
+                    remaining = 0.0
+                t = remaining / rate
+                if t < best:
+                    best = t
         return best
 
     def advance(self, dt: float) -> List[int]:
@@ -78,9 +100,10 @@ class FluidBus:
             tr.remaining -= tr.rate * dt
             if tr.remaining <= _EPS:
                 finished.append(tr.cid)
-        for cid in finished:
-            del self._active[cid]
         if finished:
+            active = self._active
+            for cid in finished:
+                del active[cid]
             self._recompute_rates()
         return finished
 
@@ -93,6 +116,10 @@ class FluidBus:
         Safety valve against floating-point livelock: when the remaining
         eta underflows the clock's resolution, the caller retires the
         nearest transfer directly instead of advancing time by zero.
+        Raises ``RuntimeError`` when no transfer is making progress at
+        all (every active rate is zero) -- returning an empty list would
+        send the caller back into a zero-dt spin, so the degenerate case
+        is reported as the bus-side analogue of a scheduling deadlock.
         """
         if not self._active:
             return []
@@ -100,6 +127,15 @@ class FluidBus:
             max(0.0, tr.remaining) / tr.rate if tr.rate > 0 else float("inf")
             for tr in self._active.values()
         )
+        if nearest == float("inf"):
+            stuck = [
+                f"#{tr.cid} {tr.remaining:.1f}B left, cap={tr.cap}, rate=0"
+                for tr in self._active.values()
+            ]
+            raise RuntimeError(
+                "bus livelock: no active transfer is making progress "
+                f"(bandwidth={self.total_bandwidth}): {stuck[:8]}"
+            )
         finished = [
             tr.cid
             for tr in self._active.values()

@@ -7,6 +7,18 @@ barrier commands have deterministic durations from the cost model; DMA
 commands pay a fixed first-byte latency and then stream through the
 shared-bus fluid model, so concurrent transfers slow each other down
 exactly as on the real memory system.
+
+The scheduler here is *event-driven*: a precomputed reverse-dependency
+index (consumers per command) and a per-command outstanding-dependency
+counter mean a completion only touches its own engine queue and its
+consumers' queues, instead of re-scanning every queue head and every
+``deps`` list per iteration as the retained reference implementation in
+:mod:`repro.sim.reference_scheduler` does.  The seed-independent part of
+that precomputation (queues, dependency index, durations) is built once
+per (program, machine) and cached on the program, so sweeping seeds --
+the shape of every experiment in the paper -- pays only for the event
+loop.  Both schedulers produce bit-identical traces for equal seeds
+(pinned by ``tests/sim/test_scheduler_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -14,7 +26,7 @@ from __future__ import annotations
 import dataclasses
 import heapq
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.compiler.program import Command, CommandKind, Engine, Program
 from repro.cost.compute import compute_cycles
@@ -27,6 +39,9 @@ _EPS = 1e-9
 #: event kinds in the time heap
 _END = 0
 _JOIN_BUS = 1
+
+#: attribute under which per-machine scheduling plans are cached on a Program
+_PLAN_ATTR = "_sim_plans"
 
 
 @dataclasses.dataclass
@@ -42,14 +57,125 @@ class SimResult:
         return self.npu.cycles_to_us(self.makespan_cycles)
 
 
-class _Running:
-    __slots__ = ("cmd", "start", "own_ready", "dep_ready")
+class _SimPlan:
+    """Seed-independent scheduling state for one (program, machine) pair.
 
-    def __init__(self, cmd: Command, start: float, own_ready: float, dep_ready: float):
-        self.cmd = cmd
-        self.start = start
-        self.own_ready = own_ready
-        self.dep_ready = dep_ready
+    Everything here is derived from the command list and the machine
+    description only: flattened engine queues, the reverse-dependency
+    index, outstanding-dependency counts, fixed durations and DMA link
+    caps.  Per-seed jitter is applied on top by :func:`simulate`.
+    """
+
+    __slots__ = (
+        "total",
+        "nq",
+        "qcids",
+        "qid_of",
+        "deps_of",
+        "own_deps_of",
+        "consumers",
+        "indeg0",
+        "base_delay",
+        "evkind",
+        "dma_cap",
+        "num_bytes",
+        "jittered",
+        "trace_fields",
+    )
+
+    def __init__(self, program: Program, npu: NPUConfig) -> None:
+        commands = program.commands
+        total = len(commands)
+        self.total = total
+
+        queues: Dict[Tuple[int, Engine], List[int]] = {}
+        qid_of_key: Dict[Tuple[int, Engine], int] = {}
+        self.qid_of = qid_of = [0] * total
+        for cmd in commands:
+            key = (cmd.core, cmd.engine)
+            qid = qid_of_key.get(key)
+            if qid is None:
+                qid = len(qid_of_key)
+                qid_of_key[key] = qid
+                queues[key] = []
+            queues[key].append(cmd.cid)
+            qid_of[cmd.cid] = qid
+        self.nq = len(qid_of_key)
+        self.qcids = [queues[key] for key in qid_of_key]
+
+        self.deps_of = deps_of = [()] * total
+        self.own_deps_of = own_deps_of = [()] * total
+        self.consumers = consumers = [[] for _ in range(total)]
+        self.indeg0 = indeg0 = [0] * total
+        self.base_delay = base_delay = [0.0] * total
+        self.evkind = evkind = [_END] * total
+        self.dma_cap = dma_cap = [0.0] * total
+        self.num_bytes = num_bytes = [0] * total
+        #: (cid, jitter bound) for commands that draw service-time jitter
+        self.jittered: List[Tuple[int, float]] = []
+        trace_fields: List[Tuple] = [()] * total
+        self.trace_fields = trace_fields
+
+        sync_bound = npu.sync_jitter_cycles
+        halo_bound = npu.halo_jitter_cycles
+        dram_latency = npu.dram_latency_cycles
+
+        for cmd in commands:
+            cid = cmd.cid
+            deps_of[cid] = cmd.deps
+            own_deps_of[cid] = tuple(
+                d for d in cmd.deps if commands[d].core == cmd.core
+            )
+            for dep in set(cmd.deps):
+                consumers[dep].append(cid)
+                indeg0[cid] += 1
+            kind = cmd.kind
+            if kind is CommandKind.COMPUTE:
+                base_delay[cid] = compute_cycles(cmd.macs, npu.core(cmd.core))
+            elif kind is CommandKind.BARRIER:
+                base_delay[cid] = cmd.cycles
+                if sync_bound > 0:
+                    self.jittered.append((cid, sync_bound))
+            else:  # DMA: fixed first-byte latency (plus command-specific
+                # setup like the halo-exchange rendezvous), then the bus.
+                base_delay[cid] = dram_latency + cmd.cycles
+                if kind in (CommandKind.HALO_SEND, CommandKind.HALO_RECV):
+                    if halo_bound > 0:
+                        self.jittered.append((cid, halo_bound))
+                if cmd.num_bytes > 0:
+                    evkind[cid] = _JOIN_BUS
+                dma_cap[cid] = npu.core(cmd.core).dma_bytes_per_cycle
+                num_bytes[cid] = cmd.num_bytes
+            trace_fields[cid] = (
+                cid,
+                cmd.core,
+                cmd.engine,
+                kind,
+                cmd.layer,
+                cmd.tag,
+                cmd.num_bytes,
+                cmd.macs,
+            )
+
+
+def _plan_for(program: Program, npu: NPUConfig) -> _SimPlan:
+    """Fetch or build the cached scheduling plan for (program, npu).
+
+    The cache lives on the program object, keyed by the (hashable,
+    frozen) machine description, so a program swept across seeds or
+    machines keeps one plan per machine and the whole thing is garbage
+    collected with the program.
+    """
+    plans: Dict[NPUConfig, _SimPlan] = getattr(program, _PLAN_ATTR, None)
+    if plans is None:
+        plans = {}
+        setattr(program, _PLAN_ATTR, plans)
+    plan = plans.get(npu)
+    if plan is None or plan.total != len(program.commands):
+        program.validate()
+        plan = _SimPlan(program, npu)
+        plans[npu] = plan
+    return plan
 
 
 def simulate(program: Program, npu: NPUConfig, seed: int = 0) -> SimResult:
@@ -59,134 +185,133 @@ def simulate(program: Program, npu: NPUConfig, seed: int = 0) -> SimResult:
     cross-core coordination commands (barriers, halo rendezvous); runs
     with equal seeds are bit-identical.
     """
-    program.validate()
     if program.num_cores > npu.num_cores:
         raise ValueError(
             f"program targets {program.num_cores} cores, machine has {npu.num_cores}"
         )
+    plan = _plan_for(program, npu)
+    commands = program.commands
+    total = plan.total
 
-    queues = program.per_engine_queues()
-    head: Dict[Tuple[int, Engine], int] = {key: 0 for key in queues}
-    engine_free_at: Dict[Tuple[int, Engine], float] = {key: 0.0 for key in queues}
-    engine_busy: Dict[Tuple[int, Engine], bool] = {key: False for key in queues}
+    qcids = plan.qcids
+    nq = plan.nq
+    qid_of = plan.qid_of
+    deps_of = plan.deps_of
+    own_deps_of = plan.own_deps_of
+    consumers = plan.consumers
+    indeg = list(plan.indeg0)
+    evkind = plan.evkind
+    dma_cap = plan.dma_cap
+    num_bytes = plan.num_bytes
 
-    done_at: Dict[int, float] = {}
-    running: Dict[int, _Running] = {}
-    events: List[TraceEvent] = []
+    # Per-command service-time jitter: cross-core coordination runs
+    # through the host driver, whose service time varies; hardware-timed
+    # compute and plain DMA draw none (it would hit every configuration
+    # equally).  One reseeded generator replaces the per-command
+    # random.Random construction of the reference scheduler; reseeding is
+    # equivalent to construction, so the draws are bit-identical.
+    delay = plan.base_delay
+    if plan.jittered:
+        delay = list(delay)
+        rng = random.Random()
+        hi = seed << 32
+        for cid, bound in plan.jittered:
+            rng.seed(hi ^ (cid * 2654435761))
+            delay[cid] += rng.uniform(0.0, bound)
+
+    qhead = [0] * nq
+    qbusy = [False] * nq
+    qfree_at = [0.0] * nq
+
+    # Completion times; a slot is valid once the command completed (every
+    # read is gated by the outstanding-dependency counter hitting zero).
+    done_at = [0.0] * total
+    r_start = [0.0] * total
+    r_own = [0.0] * total
+    r_dep = [0.0] * total
+    running: set = set()
+    completed = 0
 
     heap: List[Tuple[float, int, int, int]] = []  # (time, seq, evkind, cid)
     seq = 0
     bus = FluidBus(npu.bus_bytes_per_cycle)
+    bus_active = bus._active  # alias: skip property/len calls in the loop
     clock = 0.0
-    total = len(program.commands)
 
-    core_of = {c.cid: c.core for c in program.commands}
+    # Engine queues whose head may have become startable.  Seeded with
+    # every queue; afterwards only completions repopulate it.
+    check: List[int] = list(range(nq))
 
-    def jitter(cmd: Command) -> float:
-        """Deterministic per-command service-time jitter.
-
-        Cross-core coordination runs through the host driver, whose
-        service time varies; hardware-timed compute and plain DMA do not
-        draw jitter (it would hit every configuration equally).
-        """
-        if cmd.kind is CommandKind.BARRIER:
-            bound = npu.sync_jitter_cycles
-        elif cmd.kind in (CommandKind.HALO_SEND, CommandKind.HALO_RECV):
-            bound = npu.halo_jitter_cycles
-        else:
-            return 0.0
-        if bound <= 0:
-            return 0.0
-        rng = random.Random((seed << 32) ^ (cmd.cid * 2654435761))
-        return rng.uniform(0.0, bound)
-
-    def duration_fixed(cmd: Command) -> float:
-        if cmd.kind is CommandKind.COMPUTE:
-            return compute_cycles(cmd.macs, npu.core(cmd.core))
-        if cmd.kind is CommandKind.BARRIER:
-            return cmd.cycles + jitter(cmd)
-        raise ValueError(f"{cmd} has no fixed duration")
-
-    def try_start(now: float) -> bool:
-        nonlocal seq
-        started = False
-        for key, cmds in queues.items():
-            if engine_busy[key]:
-                continue
-            idx = head[key]
-            if idx >= len(cmds):
-                continue
-            cmd = cmds[idx]
-            if any(dep not in done_at for dep in cmd.deps):
-                continue
-            dep_ready = max((done_at[d] for d in cmd.deps), default=0.0)
-            own_dep_ready = max(
-                (done_at[d] for d in cmd.deps if core_of[d] == cmd.core),
-                default=0.0,
-            )
-            own_ready = max(engine_free_at[key], own_dep_ready)
-            running[cmd.cid] = _Running(cmd, now, own_ready, dep_ready)
-            engine_busy[key] = True
-            head[key] = idx + 1
-            if cmd.is_dma:
-                # Fixed first-byte latency (plus any command-specific setup
-                # like the halo-exchange rendezvous), then the fluid bus.
-                latency = npu.dram_latency_cycles + cmd.cycles + jitter(cmd)
-                if cmd.num_bytes > 0:
-                    heapq.heappush(heap, (now + latency, seq, _JOIN_BUS, cmd.cid))
-                else:
-                    heapq.heappush(heap, (now + latency, seq, _END, cmd.cid))
-            else:
-                heapq.heappush(
-                    heap, (now + duration_fixed(cmd), seq, _END, cmd.cid)
-                )
-            seq += 1
-            started = True
-        return started
+    inf = float("inf")
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    bus_eta = bus.eta
+    bus_advance = bus.advance
+    bus_add = bus.add
 
     def complete(cid: int, now: float) -> None:
-        run = running.pop(cid)
-        cmd = run.cmd
+        nonlocal completed
+        running.discard(cid)
         done_at[cid] = now
-        key = (cmd.core, cmd.engine)
-        engine_busy[key] = False
-        engine_free_at[key] = now
-        events.append(
-            TraceEvent(
-                cid=cid,
-                core=cmd.core,
-                engine=cmd.engine,
-                kind=cmd.kind,
-                layer=cmd.layer,
-                tag=cmd.tag,
-                num_bytes=cmd.num_bytes,
-                macs=cmd.macs,
-                start=run.start,
-                end=now,
-                own_ready=run.own_ready,
-                dep_ready=run.dep_ready,
-            )
-        )
+        completed += 1
+        qid = qid_of[cid]
+        qbusy[qid] = False
+        qfree_at[qid] = now
+        check.append(qid)
+        for consumer in consumers[cid]:
+            left = indeg[consumer] - 1
+            indeg[consumer] = left
+            if not left:
+                check.append(qid_of[consumer])
 
-    while len(done_at) < total:
-        if try_start(clock):
-            continue
-        t_heap = heap[0][0] if heap else float("inf")
-        t_bus = clock + bus.eta() if bus.num_active else float("inf")
-        t_next = min(t_heap, t_bus)
-        if t_next == float("inf"):
-            stuck = [str(program.command(c)) for c in running]
+    while completed < total:
+        # Start every startable queue head reachable from the check set.
+        while check:
+            qid = check.pop()
+            if qbusy[qid]:
+                continue
+            idx = qhead[qid]
+            cids = qcids[qid]
+            if idx >= len(cids):
+                continue
+            cid = cids[idx]
+            if indeg[cid]:
+                continue
+            dep_ready = 0.0
+            for d in deps_of[cid]:
+                t = done_at[d]
+                if t > dep_ready:
+                    dep_ready = t
+            own_ready = qfree_at[qid]
+            for d in own_deps_of[cid]:
+                t = done_at[d]
+                if t > own_ready:
+                    own_ready = t
+            r_start[cid] = clock
+            r_own[cid] = own_ready
+            r_dep[cid] = dep_ready
+            running.add(cid)
+            qbusy[qid] = True
+            qhead[qid] = idx + 1
+            heappush(heap, (clock + delay[cid], seq, evkind[cid], cid))
+            seq += 1
+
+        t_heap = heap[0][0] if heap else inf
+        t_bus = clock + bus_eta() if bus_active else inf
+        t_next = t_heap if t_heap <= t_bus else t_bus
+        if t_next == inf:
+            stuck = [str(commands[c]) for c in running]
             waiting = [
-                str(cmds[head[key]])
-                for key, cmds in queues.items()
-                if not engine_busy[key] and head[key] < len(cmds)
+                str(commands[qcids[qid][qhead[qid]]])
+                for qid in range(nq)
+                if not qbusy[qid] and qhead[qid] < len(qcids[qid])
             ]
             raise RuntimeError(
                 f"simulation deadlock at t={clock}: running={stuck}, "
                 f"blocked heads={waiting[:8]}"
             )
         dt = t_next - clock
-        finished_dma = bus.advance(dt) if bus.num_active else []
+        finished_dma = bus_advance(dt) if bus_active else ()
         if (
             not finished_dma
             and t_next == t_bus
@@ -198,13 +323,20 @@ def simulate(program: Program, npu: NPUConfig, seed: int = 0) -> SimResult:
         clock = t_next
         for cid in finished_dma:
             complete(cid, clock)
-        while heap and heap[0][0] <= clock + _EPS:
-            _, _, evkind, cid = heapq.heappop(heap)
-            if evkind == _END:
+        threshold = clock + _EPS
+        while heap and heap[0][0] <= threshold:
+            _, _, kind, cid = heappop(heap)
+            if kind == _END:
                 complete(cid, clock)
             else:
-                cmd = running[cid].cmd
-                bus.add(cid, cmd.num_bytes, npu.core(cmd.core).dma_bytes_per_cycle)
+                bus_add(cid, num_bytes[cid], dma_cap[cid])
 
+    # Every command completed exactly once; materialize the trace in one
+    # pass instead of constructing events inside the hot loop.
+    trace_fields = plan.trace_fields
+    events = [
+        TraceEvent(*trace_fields[cid], r_start[cid], done_at[cid], r_own[cid], r_dep[cid])
+        for cid in range(total)
+    ]
     trace = Trace(events=sorted(events, key=lambda e: (e.start, e.cid)))
     return SimResult(trace=trace, makespan_cycles=trace.makespan, npu=npu)

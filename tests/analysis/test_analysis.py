@@ -50,11 +50,55 @@ class TestSweep:
         with pytest.raises(ValueError):
             speedups({})
 
+    def test_speedups_zero_latency_config_is_inf(self, sweep):
+        """A degenerate zero-latency configuration must not crash the
+        whole summary with a ZeroDivisionError."""
+        import copy
+        import dataclasses
+
+        broken = copy.copy(sweep["Base"])
+        broken.stats = dataclasses.replace(broken.stats, latency_us=0.0)
+        results = dict(sweep)
+        results["Base"] = broken
+        s = speedups(results)
+        assert s["Base"] == float("inf")
+        assert s["1-core"] == pytest.approx(1.0)
+
+    def test_speedups_zero_latency_baseline_raises(self, sweep):
+        import copy
+        import dataclasses
+
+        broken = copy.copy(sweep["1-core"])
+        broken.stats = dataclasses.replace(broken.stats, latency_us=0.0)
+        results = dict(sweep)
+        results["1-core"] = broken
+        with pytest.raises(ValueError, match="non-positive latency"):
+            speedups(results)
+
     def test_single_core_runs_on_one_core_machine(self):
         result = run_configuration(
             make_chain_graph(), tiny_test_machine(3), CompileOptions.single_core()
         )
         assert result.compiled.npu.num_cores == 1
+
+    def test_relabelled_single_core_still_dispatches(self):
+        """Regression: dispatch used to compare ``options.label`` against
+        the string "1-core", so any relabelled single-core configuration
+        silently compiled for the full machine."""
+        from repro.partition import PartitionPolicy
+
+        class Relabelled(CompileOptions):
+            @property
+            def label(self):  # type: ignore[override]
+                return "my-baseline"
+
+        result = run_configuration(
+            make_chain_graph(),
+            tiny_test_machine(3),
+            Relabelled(partition_policy=PartitionPolicy.SINGLE_CORE),
+        )
+        assert result.compiled.npu.num_cores == 1
+        assert result.label == "my-baseline"
 
 
 class TestTable4Profiles:

@@ -34,6 +34,29 @@ class TestPresets:
         assert o.partition_policy is PartitionPolicy.SINGLE_CORE
         assert o.label == "1-core"
 
+    def test_is_single_core_predicate(self):
+        assert CompileOptions.single_core().is_single_core
+        for o in (
+            CompileOptions.base(),
+            CompileOptions.halo(),
+            CompileOptions.stratum_config(),
+        ):
+            assert not o.is_single_core
+
+    def test_is_single_core_is_structural_not_label(self):
+        """Regression: runners used to dispatch on ``label == "1-core"``,
+        so a relabelled single-core configuration ran on the full
+        machine.  The predicate must follow the partition policy."""
+
+        class Relabelled(CompileOptions):
+            @property
+            def label(self):  # type: ignore[override]
+                return "my-baseline"
+
+        o = Relabelled(partition_policy=PartitionPolicy.SINGLE_CORE)
+        assert o.label == "my-baseline"
+        assert o.is_single_core
+
     def test_forwarding_toggles(self):
         o = CompileOptions.halo().without_forwarding()
         assert not o.feature_map_forwarding

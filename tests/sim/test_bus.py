@@ -98,6 +98,31 @@ class TestAdvance:
         assert finished == [0]
         assert bus.num_active == 1
 
+    def test_force_min_completion_idle_is_noop(self):
+        assert FluidBus(10.0).force_min_completion() == []
+
+    def test_force_min_completion_all_stalled_raises(self):
+        """Regression: active transfers with zero rate used to make
+        ``force_min_completion`` return ``[]``, sending the simulator
+        back into an infinite dt == 0 loop.  The degenerate state must
+        surface as a diagnostic error instead."""
+        bus = FluidBus(10.0)
+        bus.add(0, 500, link_cap=5.0)
+        bus.add(1, 700, link_cap=5.0)
+        for tr in bus._active.values():  # corrupt into the stalled state
+            tr.rate = 0.0
+        with pytest.raises(RuntimeError, match="bus livelock"):
+            bus.force_min_completion()
+
+    def test_force_min_completion_ignores_stalled_minority(self):
+        """One stalled transfer must not mask a progressing one."""
+        bus = FluidBus(10.0)
+        bus.add(0, 500, link_cap=5.0)
+        bus.add(1, 1e-8, link_cap=5.0)
+        bus._active[0].rate = 0.0
+        assert bus.force_min_completion() == [1]
+        assert bus.num_active == 1
+
 
 @settings(max_examples=60, deadline=None)
 @given(
