@@ -29,7 +29,9 @@ from repro.analysis.layer_report import (
     render_layer_report,
     top_layers,
 )
-from repro.analysis.memcheck import (
+# The SPM audit lives in the verifier now (repro.verify.spm); keep the
+# historical re-export so `from repro.analysis import audit_spm` works.
+from repro.verify.spm import (
     SpmUsage,
     SpmViolation,
     audit_spm,

@@ -7,10 +7,10 @@ how the repository visualizes the halo-first pipelining profiles.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional
 
 from repro.compiler.program import CommandKind, Engine
-from repro.sim.trace import Trace, TraceEvent
+from repro.sim.trace import Trace
 
 #: glyph per command kind.
 _GLYPH = {

@@ -10,9 +10,9 @@ span (first command start to last command end).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
+from typing import Dict, List
 
-from repro.compiler.program import CommandKind, Engine
+from repro.compiler.program import CommandKind
 from repro.hw.config import NPUConfig
 from repro.sim.trace import Trace
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 from repro.analysis.compare import ConfigResult, run_configuration
 from repro.compiler.options import CompileOptions

@@ -7,6 +7,7 @@ Subcommands:
 * ``compile``   -- compile and summarize the compiler's decisions
 * ``run``       -- compile + simulate; latency, traffic, energy, exports
 * ``sweep``     -- the four paper configurations side by side (Fig. 11 row)
+* ``lint``      -- statically verify compiled command streams
 * ``table4`` / ``table5`` -- regenerate those paper tables
 """
 
@@ -37,6 +38,7 @@ from repro.hw import exynos2100_like, homogeneous
 from repro.models import ZOO, get_model, inception_v3_stem, model_names
 from repro.partition import PartitionPolicy
 from repro.sim import collect_stats, estimate_energy, simulate
+from repro.verify import PASS_NAMES
 
 CONFIGS = {
     "1core": CompileOptions.single_core,
@@ -276,6 +278,51 @@ def cmd_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.verify import check_trace, verify_model
+
+    npu = _machine(args.machine)
+    models = model_names() if args.model == "all" else [args.model]
+    config_names = sorted(CONFIGS) if args.config == "all" else [args.config]
+
+    reports = []
+    for model_name in models:
+        graph = _graph(model_name)
+        for config_name in config_names:
+            options = CONFIGS[config_name]()
+            machine = npu.single_core() if options.is_single_core else npu
+            compiled = compile_model(graph, machine, options)
+            report = verify_model(
+                compiled,
+                passes=args.passes or None,
+                spm_tolerance=args.tolerance,
+            )
+            if args.trace:
+                result = simulate(compiled.program, machine, seed=args.seed)
+                report.passes.append(
+                    check_trace(compiled.program, result.trace)
+                )
+            reports.append(report)
+
+    if args.json:
+        print(json.dumps([r.to_dict() for r in reports], indent=2))
+    else:
+        for report in reports:
+            print(report.render_text(verbose=args.verbose))
+        failed = sum(1 for r in reports if not r.ok)
+        total_errors = sum(len(r.errors) for r in reports)
+        if failed:
+            print(
+                f"\n{failed}/{len(reports)} program(s) failed verification "
+                f"({total_errors} error(s))"
+            )
+        else:
+            print(f"\nall {len(reports)} program(s) verified clean")
+    return 0 if all(r.ok for r in reports) else 1
+
+
 def cmd_table5(args: argparse.Namespace) -> int:
     npu = _machine(args.machine)
     stem = inception_v3_stem()
@@ -371,6 +418,34 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--tolerance", type=float, default=1.0)
     p.set_defaults(func=cmd_audit)
+
+    p = sub.add_parser(
+        "lint", help="statically verify compiled command streams"
+    )
+    p.add_argument(
+        "model",
+        help=f"one of {model_names()}, 'stem', or 'all' for the whole zoo",
+    )
+    p.add_argument("--machine", default="exynos2100")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--config", choices=sorted(CONFIGS) + ["all"], default="all",
+        help="one configuration, or 'all' (default)",
+    )
+    p.add_argument(
+        "--passes", nargs="+", choices=list(PASS_NAMES), metavar="PASS",
+        help=f"run only these passes (of {', '.join(PASS_NAMES)})",
+    )
+    p.add_argument(
+        "--trace", action="store_true",
+        help="also simulate and cross-check the trace (RPR6xx)",
+    )
+    p.add_argument("--tolerance", type=float, default=1.0,
+                   help="SPM capacity tolerance factor")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument("--verbose", action="store_true",
+                   help="print per-pass statistics")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("table4", help="partitioning-scheme profile")
     common(p, config=False)

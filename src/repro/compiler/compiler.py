@@ -138,7 +138,7 @@ def compile_model(
     program = lower(
         graph, npu, options, partition, schedule, strata, forwarding, exec_regions
     )
-    return CompiledModel(
+    compiled = CompiledModel(
         graph=graph,
         npu=npu,
         options=options,
@@ -149,3 +149,11 @@ def compile_model(
         exec_regions=exec_regions,
         program=program,
     )
+    if options.verify:
+        # Imported lazily: repro.verify depends on this module.
+        from repro.verify import VerificationError, verify_model
+
+        report = verify_model(compiled)
+        if not report.ok:
+            raise VerificationError(report)
+    return compiled

@@ -31,7 +31,7 @@ from repro.compiler.program import CommandKind, Program, ProgramBuilder
 from repro.partition.direction import PartitionDirection
 from repro.partition.partitioner import GraphPartition
 from repro.schedule.stratum import StratumPlan
-from repro.schedule.tiling import TilePlan, plan_tiles
+from repro.schedule.tiling import plan_tiles
 
 
 def exec_regions_for(

@@ -52,6 +52,9 @@ class CompileOptions:
     stratum: bool = False
     #: Count the eliminated store/load round trip in h8's gain estimate.
     stratum_roundtrip_gain: bool = True
+    #: Run the static program verifier (:mod:`repro.verify`) on the
+    #: compiled program and raise ``VerificationError`` on any error.
+    verify: bool = False
 
     @classmethod
     def base(cls, policy: PartitionPolicy = PartitionPolicy.ADAPTIVE) -> "CompileOptions":

@@ -114,21 +114,48 @@ class Program:
         return queues
 
     def validate(self) -> None:
-        """Well-formedness: dense ids, forward-only deps, sane payloads."""
+        """Well-formedness: dense ids, forward-only deps, sane payloads.
+
+        Raises ``ValueError`` on the first violation.  The static
+        verifier (:mod:`repro.verify`) reports the same family of
+        conditions as RPR2xx diagnostics without raising, plus the
+        deeper semantic checks.
+        """
+        n = len(self.commands)
         for i, cmd in enumerate(self.commands):
             if cmd.cid != i:
-                raise ValueError(f"command id {cmd.cid} at position {i}")
+                raise ValueError(
+                    f"command id {cmd.cid} at position {i} "
+                    f"(ids must be dense and unique)"
+                )
             if not 0 <= cmd.core < self.num_cores:
                 raise ValueError(f"{cmd}: bad core index")
+            if len(set(cmd.deps)) != len(cmd.deps):
+                raise ValueError(f"{cmd}: duplicate dependency entries")
             for dep in cmd.deps:
-                if dep >= cmd.cid:
-                    raise ValueError(f"{cmd}: dependency {dep} is not earlier")
+                if dep == cmd.cid:
+                    raise ValueError(f"{cmd}: depends on itself")
                 if dep < 0:
                     raise ValueError(f"{cmd}: negative dependency")
-            if cmd.is_dma and cmd.num_bytes < 0:
-                raise ValueError(f"{cmd}: negative bytes")
-            if cmd.kind is CommandKind.COMPUTE and cmd.macs < 0:
-                raise ValueError(f"{cmd}: negative macs")
+                if dep >= n:
+                    raise ValueError(f"{cmd}: dangling dependency {dep}")
+                if dep > cmd.cid:
+                    raise ValueError(f"{cmd}: dependency {dep} is not earlier")
+            if cmd.cycles < 0:
+                raise ValueError(f"{cmd}: negative cycles")
+            if cmd.is_dma:
+                if cmd.num_bytes < 0:
+                    raise ValueError(f"{cmd}: negative bytes")
+                if cmd.macs:
+                    raise ValueError(f"{cmd}: DMA command carries MACs")
+            elif cmd.kind is CommandKind.COMPUTE:
+                if cmd.macs < 0:
+                    raise ValueError(f"{cmd}: negative macs")
+                if cmd.num_bytes:
+                    raise ValueError(f"{cmd}: compute command carries bytes")
+            elif cmd.kind is CommandKind.BARRIER:
+                if cmd.num_bytes or cmd.macs:
+                    raise ValueError(f"{cmd}: barrier carries a payload")
 
     def total_macs(self) -> int:
         return sum(c.macs for c in self.commands)

@@ -17,9 +17,9 @@ Passes are pure: they build a new Graph and never mutate the input.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.ir.graph import Graph, Layer
+from repro.ir.graph import Graph
 from repro.ir.ops import (
     Activation,
     Add,
@@ -27,7 +27,6 @@ from repro.ir.ops import (
     Crop,
     Dense,
     DepthwiseConv2D,
-    Input,
     Mul,
     TransposedConv2D,
 )

@@ -10,7 +10,7 @@ nodes.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.ir.dtypes import DataType
 from repro.ir.graph import Graph

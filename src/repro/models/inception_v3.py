@@ -8,8 +8,6 @@ and the 1000-way classifier.
 
 from __future__ import annotations
 
-from typing import List
-
 from repro.ir.dtypes import DataType
 from repro.ir.graph import Graph
 from repro.ir.ops import Padding

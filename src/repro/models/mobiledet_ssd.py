@@ -13,7 +13,7 @@ intensity match the real network closely.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.ir.dtypes import DataType
 from repro.ir.graph import Graph

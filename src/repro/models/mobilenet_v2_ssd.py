@@ -9,7 +9,7 @@ backbone output (10x10), followed by four extra downsampling stages
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 from repro.ir.dtypes import DataType
 from repro.ir.graph import Graph

@@ -10,7 +10,7 @@ Table 2 of the NPU paper lists 572x572x3, which is used here.)
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 from repro.ir.dtypes import DataType
 from repro.ir.graph import Graph

@@ -8,7 +8,7 @@ from typing import Callable, Dict, List, Tuple
 from repro.ir.dtypes import DataType
 from repro.ir.graph import Graph
 from repro.models.deeplab_v3plus import deeplab_v3plus
-from repro.models.inception_v3 import inception_v3, inception_v3_stem
+from repro.models.inception_v3 import inception_v3
 from repro.models.mobiledet_ssd import mobiledet_ssd
 from repro.models.mobilenet_v2 import mobilenet_v2
 from repro.models.mobilenet_v2_ssd import mobilenet_v2_ssd

@@ -7,7 +7,7 @@ for "which core owns which piece of which tensor".
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, Optional, Tuple
 
 from repro.hw.config import NPUConfig
 from repro.ir.graph import Graph, Layer

@@ -9,10 +9,10 @@ and the functional correctness oracle -- flows through these Regions.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.ir.graph import Layer
-from repro.ir.tensor import Interval, Region, TensorShape
+from repro.ir.tensor import Interval, Region
 from repro.partition.direction import PartitionDirection
 
 

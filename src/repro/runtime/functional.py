@@ -31,7 +31,6 @@ from repro.ir.tensor import Region
 from repro.runtime.reference import (
     apply_layer,
     run_reference,
-    synth_input,
     synth_weights,
 )
 

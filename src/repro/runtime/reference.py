@@ -9,7 +9,7 @@ indexing mistake changes the output.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -25,7 +25,6 @@ from repro.ir.ops import (
     GlobalAvgPool,
     Input,
     Mul,
-    Operator,
     Pool2D,
     PoolKind,
     Softmax,

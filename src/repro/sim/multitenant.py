@@ -27,7 +27,6 @@ from repro.compiler.program import Command, Program
 from repro.hw.config import NPUConfig
 from repro.ir.graph import Graph
 from repro.sim.simulator import SimResult, simulate
-from repro.sim.trace import Trace
 
 
 @dataclasses.dataclass(frozen=True)

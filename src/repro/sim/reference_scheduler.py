@@ -15,7 +15,6 @@ audit by eye.
 
 from __future__ import annotations
 
-import dataclasses
 import heapq
 import random
 from typing import Dict, List, Tuple

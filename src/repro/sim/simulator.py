@@ -28,7 +28,7 @@ import heapq
 import random
 from typing import Dict, List, Tuple
 
-from repro.compiler.program import Command, CommandKind, Engine, Program
+from repro.compiler.program import CommandKind, Engine, Program
 from repro.cost.compute import compute_cycles
 from repro.hw.config import NPUConfig
 from repro.sim.bus import FluidBus

@@ -11,9 +11,8 @@ it amortizes.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
 
-from repro.compiler.program import Command, Program
+from repro.compiler.program import Program
 from repro.hw.config import NPUConfig
 from repro.sim.simulator import SimResult, simulate
 

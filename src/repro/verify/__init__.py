@@ -1,0 +1,58 @@
+"""Static verification of compiled command streams.
+
+The compiler promises that its cheaper coordination mechanisms are
+race-free, that strata are truly synchronization-free, and that every
+working set fits the machine.  This package independently checks those
+promises over the compiled program -- see :func:`verify_model` and
+``python -m repro lint``.
+"""
+
+from repro.verify.diagnostics import (
+    Diagnostic,
+    PassResult,
+    Severity,
+    VerifyReport,
+    merge_reports,
+)
+from repro.verify.halo_check import check_halo
+from repro.verify.hb import HappensBefore
+from repro.verify.liveness import check_liveness
+from repro.verify.races import check_races
+from repro.verify.spm import (
+    SpmUsage,
+    SpmViolation,
+    audit_spm,
+    check_spm,
+    peak_spm_per_core,
+)
+from repro.verify.structure import check_structure
+from repro.verify.stratum_check import check_strata
+from repro.verify.tracecheck import check_trace
+from repro.verify.verifier import (
+    PASS_NAMES,
+    VerificationError,
+    verify_model,
+)
+
+__all__ = [
+    "Diagnostic",
+    "HappensBefore",
+    "PASS_NAMES",
+    "PassResult",
+    "Severity",
+    "SpmUsage",
+    "SpmViolation",
+    "VerificationError",
+    "VerifyReport",
+    "audit_spm",
+    "check_halo",
+    "check_liveness",
+    "check_races",
+    "check_spm",
+    "check_strata",
+    "check_structure",
+    "check_trace",
+    "merge_reports",
+    "peak_spm_per_core",
+    "verify_model",
+]

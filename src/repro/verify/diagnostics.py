@@ -1,0 +1,201 @@
+"""The unified diagnostics framework of the static verifier.
+
+Every verifier pass reports its findings as :class:`Diagnostic` records:
+a stable code (``RPR101``), a severity, the locus (core / layer /
+command), a human-readable message, and a fix hint.  A
+:class:`VerifyReport` aggregates the per-pass results and renders them
+as text (for the CLI) or JSON (for tooling).
+
+Code ranges, one block per pass:
+
+* ``RPR1xx`` -- race / synchronization (cross-core happens-before)
+* ``RPR2xx`` -- program structure: dangling deps, cycles, deadlock
+* ``RPR3xx`` -- SPM: buffer liveness (``30x``) and capacity (``310``)
+* ``RPR4xx`` -- stratum invariants (no sync, no global traffic)
+* ``RPR5xx`` -- halo pairing and tile coverage
+* ``RPR6xx`` -- simulation-trace cross-checks
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from typing import Dict, List, Optional, Sequence
+
+
+class Severity(enum.Enum):
+    """How bad a finding is."""
+
+    #: The program is wrong: it can race, deadlock, or not fit the machine.
+    ERROR = "error"
+    #: Suspicious but not provably incorrect (e.g. modeling slack).
+    WARNING = "warning"
+    #: Informational notes (pass statistics, skipped checks).
+    INFO = "info"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclasses.dataclass(frozen=True)
+class Diagnostic:
+    """One verifier finding, anchored to a program locus."""
+
+    code: str
+    severity: Severity
+    message: str
+    #: Where the problem is; any subset may be unset.
+    layer: str = ""
+    core: Optional[int] = None
+    cid: Optional[int] = None
+    #: What to look at to fix it.
+    hint: str = ""
+
+    @property
+    def locus(self) -> str:
+        parts = []
+        if self.layer:
+            parts.append(self.layer)
+        if self.core is not None:
+            parts.append(f"core{self.core}")
+        if self.cid is not None:
+            parts.append(f"#{self.cid}")
+        return "/".join(parts)
+
+    def __str__(self) -> str:
+        where = f" [{self.locus}]" if self.locus else ""
+        hint = f" (hint: {self.hint})" if self.hint else ""
+        return f"{self.code} {self.severity.value}{where}: {self.message}{hint}"
+
+    def to_dict(self) -> Dict:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "layer": self.layer,
+            "core": self.core,
+            "cid": self.cid,
+            "hint": self.hint,
+        }
+
+
+@dataclasses.dataclass
+class PassResult:
+    """Findings and statistics of one verifier pass."""
+
+    name: str
+    diagnostics: List[Diagnostic] = dataclasses.field(default_factory=list)
+    #: pass-specific counters (edges checked, regions covered, ...).
+    stats: Dict[str, int] = dataclasses.field(default_factory=dict)
+    #: True when the pass did not run (e.g. structure errors upstream).
+    skipped: bool = False
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def emit(
+        self,
+        code: str,
+        message: str,
+        severity: Severity = Severity.ERROR,
+        layer: str = "",
+        core: Optional[int] = None,
+        cid: Optional[int] = None,
+        hint: str = "",
+    ) -> Diagnostic:
+        diag = Diagnostic(
+            code=code,
+            severity=severity,
+            message=message,
+            layer=layer,
+            core=core,
+            cid=cid,
+            hint=hint,
+        )
+        self.diagnostics.append(diag)
+        return diag
+
+
+@dataclasses.dataclass
+class VerifyReport:
+    """Aggregated result of a full verifier run over one program."""
+
+    model: str
+    config: str
+    machine: str
+    passes: List[PassResult] = dataclasses.field(default_factory=list)
+
+    @property
+    def diagnostics(self) -> List[Diagnostic]:
+        return [d for p in self.passes for d in p.diagnostics]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def ok(self) -> bool:
+        """True when no pass produced an error-severity diagnostic."""
+        return not self.errors
+
+    def codes(self) -> List[str]:
+        """Distinct diagnostic codes present, sorted."""
+        return sorted({d.code for d in self.diagnostics})
+
+    def has_code(self, code: str) -> bool:
+        return any(d.code == code for d in self.diagnostics)
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    # ------------------------------------------------------------ rendering
+
+    def render_text(self, verbose: bool = False) -> str:
+        """Human-readable multi-line summary."""
+        head = f"verify {self.model} [{self.config}] on {self.machine}: "
+        head += "OK" if self.ok else f"{len(self.errors)} error(s)"
+        lines = [head]
+        for p in self.passes:
+            if p.skipped:
+                lines.append(f"  pass {p.name:10s} skipped")
+                continue
+            status = "ok" if p.ok else f"{len(p.errors)} error(s)"
+            stat = ""
+            if verbose and p.stats:
+                stat = "  (" + ", ".join(f"{k}={v}" for k, v in sorted(p.stats.items())) + ")"
+            lines.append(f"  pass {p.name:10s} {status}{stat}")
+            for d in p.diagnostics:
+                lines.append(f"    {d}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        return {
+            "model": self.model,
+            "config": self.config,
+            "machine": self.machine,
+            "ok": self.ok,
+            "passes": [
+                {
+                    "name": p.name,
+                    "ok": p.ok,
+                    "skipped": p.skipped,
+                    "stats": p.stats,
+                    "diagnostics": [d.to_dict() for d in p.diagnostics],
+                }
+                for p in self.passes
+            ],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def merge_reports(reports: Sequence[VerifyReport]) -> bool:
+    """True when every report in a batch is clean."""
+    return all(r.ok for r in reports)

@@ -1,0 +1,115 @@
+"""SPM buffer-liveness pass (RPR30x): double-buffer phase discipline.
+
+The tiler sizes each sub-layer's streams for *double* buffering: at most
+two input-tile buffers and two output-tile buffers of a stream are live
+at once.  The lowering realises that bound with dependency edges -- the
+load of tile ``k`` must wait for the compute of tile ``k-2`` (its buffer
+is then free), and -- when the output streams rather than staying SPM
+resident -- the compute of tile ``k`` must wait for the store of tile
+``k-2``.  This pass re-derives the per-sub-layer tile pipeline from
+the command stream (program order of the compute queue defines the tile
+sequence; tags pair loads/stores with their tile) and checks those phase
+edges in the happens-before relation.  A violation means three buffers
+of one stream can be live simultaneously -- the program can exceed the
+SPM budget the capacity pass (RPR310) validated.
+
+Codes:
+
+* ``RPR301`` -- tile load not ordered after the compute that frees its
+  double-buffer slot (3+ input buffers live)
+* ``RPR302`` -- tile compute not ordered after the store that frees its
+  output buffer slot (3+ output buffers live)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from repro.compiler.program import Command, CommandKind
+from repro.verify.diagnostics import PassResult
+from repro.verify.hb import HappensBefore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.compiler.compiler import CompiledModel
+
+
+def _tile_groups(program) -> Dict[Tuple[str, int], Dict[CommandKind, List[Command]]]:
+    groups: Dict[Tuple[str, int], Dict[CommandKind, List[Command]]] = {}
+    for cmd in program.commands:
+        if cmd.kind in (
+            CommandKind.LOAD_INPUT,
+            CommandKind.COMPUTE,
+            CommandKind.STORE_OUTPUT,
+        ):
+            groups.setdefault((cmd.layer, cmd.core), {}).setdefault(
+                cmd.kind, []
+            ).append(cmd)
+    return groups
+
+
+def check_liveness(compiled: "CompiledModel", hb: HappensBefore) -> PassResult:
+    """Check double-buffer phase edges for every tiled sub-layer."""
+    result = PassResult(name="liveness")
+    groups = _tile_groups(compiled.program)
+    checked = 0
+
+    for (layer, core), kinds in groups.items():
+        computes = kinds.get(CommandKind.COMPUTE, [])
+        if len(computes) < 3:
+            continue  # at most two tiles in flight: double buffering trivially holds
+        # Program order of the compute queue *is* the tile order (the
+        # lowering emits one compute per tile, halo-first reordering
+        # included); tags pair the surrounding loads/stores to tiles.
+        position = {cmd.tag: k for k, cmd in enumerate(computes)}
+
+        loads = kinds.get(CommandKind.LOAD_INPUT, [])
+        tile_loads = [ld for ld in loads if ld.tag in position]
+        for ld in tile_loads:
+            k = position[ld.tag]
+            if k < 2:
+                continue
+            checked += 1
+            freeing = computes[k - 2]
+            if not hb.ordered(freeing.cid, ld.cid):
+                result.emit(
+                    "RPR301",
+                    f"tile load #{ld.cid} ({ld.tag}) is not ordered after "
+                    f"compute #{freeing.cid} ({freeing.tag}); three input "
+                    f"buffers of the stream can be live at once",
+                    layer=layer,
+                    core=core,
+                    cid=ld.cid,
+                    hint="the lowering must add the double-buffer dependency "
+                    "load[k] -> compute[k-2]",
+                )
+
+        stores = kinds.get(CommandKind.STORE_OUTPUT, [])
+        tile_stores = {cmd.tag: cmd for cmd in stores if cmd.tag in position}
+        streamed = layer not in compiled.forwarding.resident_outputs
+        if streamed and len(tile_stores) >= len(computes):
+            # Per-tile streamed stores: the output side double-buffers too.
+            # (A resident output keeps the whole tensor in SPM -- its
+            # stores drain lazily and need no phase edge.)
+            by_pos = sorted(
+                (position[tag], cmd) for tag, cmd in tile_stores.items()
+            )
+            for k, compute in enumerate(computes):
+                if k < 2:
+                    continue
+                checked += 1
+                freeing = by_pos[k - 2][1]
+                if not hb.ordered(freeing.cid, compute.cid):
+                    result.emit(
+                        "RPR302",
+                        f"tile compute #{compute.cid} ({compute.tag}) is not "
+                        f"ordered after store #{freeing.cid} ({freeing.tag}); "
+                        f"three output buffers of the stream can be live at once",
+                        layer=layer,
+                        core=core,
+                        cid=compute.cid,
+                        hint="the lowering must add the double-buffer dependency "
+                        "compute[k] -> store[k-2]",
+                    )
+
+    result.stats["phase_checks"] = checked
+    return result

@@ -1,0 +1,111 @@
+"""Simulation-trace cross-checks (RPR6xx).
+
+The static passes prove properties of the *program*; this module closes
+the loop on the *simulator*: a trace claiming an execution order that
+violates the program's dependencies or engine-queue semantics means the
+latency numbers downstream are fiction.  Checked invariants:
+
+* ``RPR601`` -- an event starts before one of its dependencies ends
+* ``RPR602`` -- two events of one engine queue overlap, or run out of
+  program order
+* ``RPR603`` -- the trace is not a bijection with the program (missing
+  or duplicated commands)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.compiler.program import Engine, Program
+from repro.sim.trace import Trace
+from repro.verify.diagnostics import PassResult
+
+#: Slack for float accumulation in the event times.
+_EPS = 1e-6
+
+
+def check_trace(program: Program, trace: Trace) -> PassResult:
+    """Cross-check one simulated trace against its program."""
+    result = PassResult(name="trace")
+    by_cid = {}
+    for event in trace.events:
+        if event.cid in by_cid:
+            result.emit(
+                "RPR603",
+                f"command #{event.cid} appears twice in the trace",
+                layer=event.layer,
+                core=event.core,
+                cid=event.cid,
+            )
+        by_cid[event.cid] = event
+
+    for cmd in program.commands:
+        if cmd.cid not in by_cid:
+            result.emit(
+                "RPR603",
+                f"command #{cmd.cid} never executed",
+                layer=cmd.layer,
+                core=cmd.core,
+                cid=cmd.cid,
+                hint="the scheduler dropped a command; the makespan is "
+                "meaningless",
+            )
+    if len(by_cid) > len(program.commands):
+        extras = set(by_cid) - {c.cid for c in program.commands}
+        for cid in sorted(extras):
+            result.emit(
+                "RPR603",
+                f"trace event #{cid} does not correspond to any command",
+                cid=cid,
+            )
+
+    # Dependencies: an event may start only after its deps completed.
+    dep_checks = 0
+    for cmd in program.commands:
+        event = by_cid.get(cmd.cid)
+        if event is None:
+            continue
+        for dep in cmd.deps:
+            dep_event = by_cid.get(dep)
+            if dep_event is None:
+                continue
+            dep_checks += 1
+            if event.start < dep_event.end - _EPS:
+                result.emit(
+                    "RPR601",
+                    f"command #{cmd.cid} started at {event.start:.1f} before "
+                    f"dependency #{dep} finished at {dep_event.end:.1f}",
+                    layer=cmd.layer,
+                    core=cmd.core,
+                    cid=cmd.cid,
+                    hint="the scheduler dispatched a command whose "
+                    "dependency count had not reached zero",
+                )
+
+    # Engine queues: serialized, in program order.
+    queues: Dict[Tuple[int, Engine], List] = {}
+    order: Dict[Tuple[int, Engine], List[int]] = {}
+    for cmd in program.commands:
+        order.setdefault((cmd.core, cmd.engine), []).append(cmd.cid)
+        event = by_cid.get(cmd.cid)
+        if event is not None:
+            queues.setdefault((cmd.core, cmd.engine), []).append(event)
+    for key, events in queues.items():
+        for prev, nxt in zip(events, events[1:]):
+            if nxt.start < prev.end - _EPS:
+                result.emit(
+                    "RPR602",
+                    f"commands #{prev.cid} and #{nxt.cid} overlap on "
+                    f"core {key[0]} engine {key[1].value} "
+                    f"([{prev.start:.1f},{prev.end:.1f}] vs "
+                    f"[{nxt.start:.1f},{nxt.end:.1f}])",
+                    layer=nxt.layer,
+                    core=key[0],
+                    cid=nxt.cid,
+                    hint="hardware queues process one command at a time, "
+                    "in program order",
+                )
+
+    result.stats["events"] = len(trace.events)
+    result.stats["dependency_checks"] = dep_checks
+    return result

@@ -1,0 +1,105 @@
+"""The multi-pass static program verifier.
+
+:func:`verify_model` runs every pass over one :class:`CompiledModel` and
+returns a :class:`VerifyReport`.  The passes are independent audits of
+the promises the compiler made -- each re-derives its invariant from the
+graph, the regions, and the raw command stream rather than trusting the
+pipeline stage that was supposed to enforce it:
+
+========== ============================================== =========
+pass       invariant                                      codes
+========== ============================================== =========
+structure  well-formed, deadlock-free command streams     RPR2xx
+race       every cross-core read ordered after its write  RPR1xx
+liveness   double-buffer phase discipline                 RPR30x
+spm        working sets fit the scratch-pad               RPR310
+stratum    no sync / no global traffic inside strata      RPR4xx
+halo       paired exchanges, exact tile coverage          RPR5xx
+========== ============================================== =========
+
+When the structure pass finds errors, the happens-before relation is
+not trustworthy, so the ordering passes (race, liveness) are skipped
+rather than reporting nonsense on a broken graph.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.verify.diagnostics import PassResult, VerifyReport
+from repro.verify.halo_check import check_halo
+from repro.verify.hb import HappensBefore
+from repro.verify.liveness import check_liveness
+from repro.verify.races import check_races
+from repro.verify.spm import check_spm
+from repro.verify.structure import check_structure
+from repro.verify.stratum_check import check_strata
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.compiler.compiler import CompiledModel
+
+#: Registered pass names, in execution order.
+PASS_NAMES = ("structure", "race", "liveness", "spm", "stratum", "halo")
+
+
+class VerificationError(Exception):
+    """Raised by ``compile_model(..., verify=True)`` on a failed report."""
+
+    def __init__(self, report: VerifyReport) -> None:
+        self.report = report
+        errors = report.errors
+        sample = "; ".join(str(d) for d in errors[:3])
+        more = f" (+{len(errors) - 3} more)" if len(errors) > 3 else ""
+        super().__init__(
+            f"compiled program failed verification with {len(errors)} "
+            f"error(s): {sample}{more}"
+        )
+
+
+def verify_model(
+    compiled: "CompiledModel",
+    passes: Optional[Sequence[str]] = None,
+    spm_tolerance: float = 1.0,
+) -> VerifyReport:
+    """Statically verify one compiled model.
+
+    ``passes`` selects a subset of :data:`PASS_NAMES` (all by default);
+    ``spm_tolerance`` is forwarded to the capacity pass.
+    """
+    selected = tuple(passes) if passes is not None else PASS_NAMES
+    unknown = set(selected) - set(PASS_NAMES)
+    if unknown:
+        raise ValueError(f"unknown verifier pass(es): {sorted(unknown)}")
+
+    report = VerifyReport(
+        model=compiled.graph.name,
+        config=compiled.options.label,
+        machine=compiled.npu.name,
+    )
+
+    structure = check_structure(compiled.program)
+    if "structure" in selected:
+        report.passes.append(structure)
+
+    hb: Optional[HappensBefore] = None
+    if structure.ok:
+        hb = HappensBefore(compiled.program)
+
+    for name in ("race", "liveness"):
+        if name not in selected:
+            continue
+        if hb is None:
+            report.passes.append(PassResult(name=name, skipped=True))
+            continue
+        if name == "race":
+            report.passes.append(check_races(compiled, hb))
+        else:
+            report.passes.append(check_liveness(compiled, hb))
+
+    if "spm" in selected:
+        report.passes.append(check_spm(compiled, tolerance=spm_tolerance))
+    if "stratum" in selected:
+        report.passes.append(check_strata(compiled))
+    if "halo" in selected:
+        report.passes.append(check_halo(compiled))
+    return report

@@ -2,7 +2,6 @@
 
 import dataclasses
 
-import pytest
 
 from repro.analysis import audit_spm, peak_spm_per_core
 from repro.compiler import CompileOptions, compile_model
@@ -59,10 +58,25 @@ class TestAudit:
         npu = machine()
         m = compile_model(make_mixed_graph(), npu, CompileOptions.base())
         usages, _ = audit_spm(m)
-        from repro.analysis.memcheck import SpmViolation
+        from repro.verify import SpmViolation
 
         v = SpmViolation(usage=usages[0], capacity=1)
         assert "SPM" in str(v)
+
+    def test_memcheck_shim_warns_and_reexports(self):
+        import importlib
+        import sys
+        import warnings
+
+        sys.modules.pop("repro.analysis.memcheck", None)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            shim = importlib.import_module("repro.analysis.memcheck")
+        assert any(w.category is DeprecationWarning for w in caught)
+        from repro.verify import spm
+
+        assert shim.audit_spm is spm.audit_spm
+        assert shim.SpmUsage is spm.SpmUsage
 
     def test_peak_per_core(self):
         npu = machine()

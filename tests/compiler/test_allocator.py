@@ -2,7 +2,6 @@
 
 import dataclasses
 
-import pytest
 
 from repro.compiler import CompileOptions, compile_model
 from repro.compiler.allocator import InputMode

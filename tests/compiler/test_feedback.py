@@ -1,6 +1,5 @@
 """Profile-guided rebalancing (Section 3.1.3 feedback loop)."""
 
-import dataclasses
 
 import pytest
 

@@ -6,7 +6,6 @@ style), the compiler must fall back to the store-sync-load path instead
 of shipping bulk data through the exchange.
 """
 
-import pytest
 
 from repro.compiler import CompileOptions, compile_model
 from repro.compiler.allocator import HALO_FRACTION_LIMIT, InputMode

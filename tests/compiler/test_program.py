@@ -116,6 +116,72 @@ class TestValidation:
         with pytest.raises(ValueError):
             program.validate()
 
+    def test_self_dep_rejected(self):
+        program = Program(
+            num_cores=1,
+            commands=[
+                Command(cid=0, core=0, kind=CommandKind.COMPUTE, macs=1),
+                Command(cid=1, core=0, kind=CommandKind.COMPUTE, deps=(1,), macs=1),
+            ],
+        )
+        with pytest.raises(ValueError, match="depends on itself"):
+            program.validate()
+
+    def test_dangling_dep_rejected(self):
+        program = Program(
+            num_cores=1,
+            commands=[
+                Command(cid=0, core=0, kind=CommandKind.COMPUTE, macs=1),
+                Command(cid=1, core=0, kind=CommandKind.COMPUTE, deps=(7,), macs=1),
+            ],
+        )
+        with pytest.raises(ValueError, match="dangling"):
+            program.validate()
+
+    def test_duplicate_dep_entries_rejected(self):
+        program = Program(
+            num_cores=1,
+            commands=[
+                Command(cid=0, core=0, kind=CommandKind.COMPUTE, macs=1),
+                Command(
+                    cid=1, core=0, kind=CommandKind.COMPUTE, deps=(0, 0), macs=1
+                ),
+            ],
+        )
+        with pytest.raises(ValueError, match="duplicate dependency"):
+            program.validate()
+
+    def test_duplicate_cid_rejected(self):
+        program = Program(
+            num_cores=1,
+            commands=[
+                Command(cid=0, core=0, kind=CommandKind.COMPUTE, macs=1),
+                Command(cid=0, core=0, kind=CommandKind.COMPUTE, macs=1),
+            ],
+        )
+        with pytest.raises(ValueError, match="dense"):
+            program.validate()
+
+    def test_negative_cycles_rejected(self):
+        program = Program(
+            num_cores=1,
+            commands=[
+                Command(cid=0, core=0, kind=CommandKind.BARRIER, cycles=-1.0)
+            ],
+        )
+        with pytest.raises(ValueError, match="negative cycles"):
+            program.validate()
+
+    def test_payload_on_wrong_kind_rejected(self):
+        for cmd in (
+            Command(cid=0, core=0, kind=CommandKind.COMPUTE, num_bytes=8),
+            Command(cid=0, core=0, kind=CommandKind.LOAD_INPUT, macs=8),
+            Command(cid=0, core=0, kind=CommandKind.BARRIER, num_bytes=8),
+        ):
+            program = Program(num_cores=1, commands=[cmd])
+            with pytest.raises(ValueError, match="carries"):
+                program.validate()
+
 
 class TestAggregates:
     def build_program(self):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.compiler import CommandKind, CompileOptions, compile_model
+from repro.compiler import CompileOptions, compile_model
 from repro.hw import exynos2100_like, homogeneous
 from repro.models import get_model, inception_v3_stem
 from repro.sim import collect_stats, simulate

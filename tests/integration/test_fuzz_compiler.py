@@ -9,7 +9,6 @@ as a locality violation or a numeric mismatch.
 
 import dataclasses
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.analysis import audit_spm

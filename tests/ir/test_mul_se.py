@@ -5,7 +5,7 @@ import pytest
 
 from repro.compiler import CompileOptions, compile_model
 from repro.hw import tiny_test_machine
-from repro.ir import Graph, Input, Interval, Mul, Region, TensorShape
+from repro.ir import Interval, Mul, Region, TensorShape
 from repro.models import GraphBuilder
 from repro.runtime import run_compiled_functional, run_reference
 
@@ -63,7 +63,6 @@ class TestSqueezeExcite:
     def test_reference_matches_numpy(self):
         g = self.se_graph()
         values = run_reference(g, seed=3)
-        from repro.runtime.reference import synth_weights
 
         gate = values["se0_expand"]
         np.testing.assert_allclose(

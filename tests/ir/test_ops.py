@@ -1,6 +1,5 @@
 """Operator shape inference and receptive-field (slicing) semantics."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -14,7 +13,6 @@ from repro.ir.ops import (
     Dense,
     DepthwiseConv2D,
     GlobalAvgPool,
-    Input,
     Padding,
     Pool2D,
     PoolKind,

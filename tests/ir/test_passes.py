@@ -1,11 +1,9 @@
 """Graph optimization passes: folding, pruning, dead-code elimination."""
 
 import numpy as np
-import pytest
 
 from repro.ir import (
     Activation,
-    Add,
     Conv2D,
     Crop,
     Graph,

@@ -1,6 +1,5 @@
 """Depth-first / breadth-first traversal orders (Figure 6)."""
 
-import pytest
 
 from repro.ir import Conv2D, Graph, Input, TensorShape, Window2D
 from repro.ir.traversal import (

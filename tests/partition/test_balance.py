@@ -1,6 +1,5 @@
 """Workload balancing across heterogeneous cores."""
 
-import dataclasses
 
 import pytest
 from hypothesis import given, settings, strategies as st

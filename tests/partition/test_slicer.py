@@ -3,10 +3,8 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.hw import tiny_test_machine
 from repro.ir import (
     Conv2D,
-    DepthwiseConv2D,
     Graph,
     Input,
     Interval,

@@ -6,7 +6,7 @@ import pytest
 
 from repro.hw import tiny_test_machine
 from repro.ir import Conv2D, Graph, Input, TensorShape, Window2D
-from repro.partition import PartitionDirection, partition_graph
+from repro.partition import partition_graph
 from repro.schedule import build_strata, schedule_layers
 from repro.schedule.stratum import Stratum, StratumEntry
 

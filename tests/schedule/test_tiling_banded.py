@@ -2,7 +2,6 @@
 
 import dataclasses
 
-import pytest
 
 from repro.cost.memory import aligned_region_bytes, aligned_weight_bytes
 from repro.hw import tiny_test_machine

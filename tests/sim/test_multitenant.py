@@ -1,6 +1,5 @@
 """Concurrent multi-network execution on disjoint core groups."""
 
-import dataclasses
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Property-based tests: the simulator on random well-formed programs."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.compiler.program import CommandKind, ProgramBuilder

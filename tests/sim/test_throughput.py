@@ -4,7 +4,7 @@ import pytest
 
 from repro.compiler import CompileOptions, compile_model
 from repro.hw import tiny_test_machine
-from repro.sim import measure_throughput, repeat_program, simulate
+from repro.sim import measure_throughput, repeat_program
 
 from tests.conftest import make_chain_graph
 

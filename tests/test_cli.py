@@ -83,6 +83,50 @@ class TestAudit:
         assert code == 1
 
 
+class TestLint:
+    def test_lint_all_configs_clean(self, capsys):
+        assert main(["lint", "stem"]) == 0
+        out = capsys.readouterr().out
+        assert "verified clean" in out
+        for label in ("1-core", "Base", "+Halo", "+Stratum"):
+            assert label in out
+
+    def test_lint_one_config(self, capsys):
+        assert main(["lint", "stem", "--config", "halo", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "pass race" in out and "pass halo" in out
+        assert "1-core" not in out
+
+    def test_lint_pass_subset(self, capsys):
+        assert (
+            main(
+                ["lint", "stem", "--config", "base", "--passes", "structure", "spm"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "pass structure" in out and "pass race" not in out
+
+    def test_lint_trace(self, capsys):
+        assert main(["lint", "stem", "--config", "stratum", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "pass trace" in out
+
+    def test_lint_json(self, capsys):
+        assert main(["lint", "stem", "--config", "base", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data[0]["ok"] is True
+        assert [p["name"] for p in data[0]["passes"]][0] == "structure"
+
+    def test_lint_fails_on_overfull_spm(self, capsys):
+        code = main(
+            ["lint", "stem", "--config", "base", "--tolerance", "0.0001"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "RPR310" in out and "failed verification" in out
+
+
 class TestSweepAndTables:
     def test_sweep(self, capsys):
         assert main(["sweep", "stem"]) == 0

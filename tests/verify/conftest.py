@@ -1,0 +1,74 @@
+"""Fixtures for the verifier suite: compiled models plus corruption helpers.
+
+The corruption helpers return a *new* ``CompiledModel`` whose program
+has selected commands replaced or appended -- the command ids stay dense
+so ``Program.validate()`` still accepts the stream and the verifier's
+semantic passes (rather than the structural ones) do the catching.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterable, Optional
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_model
+from repro.compiler.compiler import CompiledModel
+from repro.compiler.program import Command, Program
+from repro.hw import tiny_test_machine
+
+from tests.conftest import make_chain_graph, make_mixed_graph
+
+
+def rebuild(
+    compiled: CompiledModel,
+    replace: Optional[Dict[int, Command]] = None,
+    append: Iterable[Command] = (),
+) -> CompiledModel:
+    """A copy of ``compiled`` with some commands swapped or appended."""
+    replace = replace or {}
+    commands = [replace.get(c.cid, c) for c in compiled.program.commands]
+    commands.extend(append)
+    program = Program(
+        num_cores=compiled.program.num_cores, commands=commands
+    )
+    return dataclasses.replace(compiled, program=program)
+
+
+def strip_deps(
+    compiled: CompiledModel,
+    victim: Command,
+    keep: Callable[[Command], bool],
+) -> CompiledModel:
+    """Drop every dependency of ``victim`` whose target fails ``keep``."""
+    kept = tuple(
+        d for d in victim.deps if keep(compiled.program.command(d))
+    )
+    return rebuild(
+        compiled, replace={victim.cid: dataclasses.replace(victim, deps=kept)}
+    )
+
+
+@pytest.fixture(scope="module")
+def halo_mixed():
+    """The mixed graph under +Halo on three tiny cores (6 halo edges)."""
+    return compile_model(
+        make_mixed_graph(), tiny_test_machine(3), CompileOptions.halo()
+    )
+
+
+@pytest.fixture(scope="module")
+def base_mixed():
+    """The mixed graph under Base (barrier synchronization only)."""
+    return compile_model(
+        make_mixed_graph(), tiny_test_machine(3), CompileOptions.base()
+    )
+
+
+@pytest.fixture(scope="module")
+def stratum_chain():
+    """The convolution chain under +Stratum (one two-layer stratum)."""
+    return compile_model(
+        make_chain_graph(), tiny_test_machine(3), CompileOptions.stratum_config()
+    )

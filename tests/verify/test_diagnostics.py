@@ -1,0 +1,91 @@
+"""Diagnostics framework: records, pass results, report rendering."""
+
+import json
+
+from repro.verify import (
+    Diagnostic,
+    PassResult,
+    Severity,
+    VerifyReport,
+    merge_reports,
+)
+
+
+class TestDiagnostic:
+    def test_locus_and_str(self):
+        d = Diagnostic(
+            code="RPR101",
+            severity=Severity.ERROR,
+            message="race",
+            layer="c1",
+            core=2,
+            cid=17,
+            hint="add a barrier",
+        )
+        assert d.locus == "c1/core2/#17"
+        s = str(d)
+        assert "RPR101" in s and "error" in s and "hint: add a barrier" in s
+
+    def test_partial_locus(self):
+        d = Diagnostic(code="RPR310", severity=Severity.ERROR, message="x")
+        assert d.locus == ""
+        assert str(d).startswith("RPR310 error: x")
+
+    def test_to_dict_round_trips_through_json(self):
+        d = Diagnostic(
+            code="RPR203", severity=Severity.WARNING, message="cycle", core=1
+        )
+        loaded = json.loads(json.dumps(d.to_dict()))
+        assert loaded["code"] == "RPR203"
+        assert loaded["severity"] == "warning"
+        assert loaded["core"] == 1
+
+
+class TestPassResult:
+    def test_ok_ignores_warnings(self):
+        p = PassResult(name="race")
+        p.emit("RPR201", "forward dep", severity=Severity.WARNING)
+        assert p.ok and not p.errors and len(p.diagnostics) == 1
+
+    def test_errors_flip_ok(self):
+        p = PassResult(name="race")
+        p.emit("RPR101", "race")
+        assert not p.ok and len(p.errors) == 1
+
+
+class TestVerifyReport:
+    def make_report(self):
+        r = VerifyReport(model="m", config="Base", machine="tiny")
+        clean = PassResult(name="structure", stats={"commands": 3})
+        dirty = PassResult(name="race")
+        dirty.emit("RPR101", "load races store", layer="c2", core=0)
+        dirty.emit("RPR102", "store races store", layer="c3", core=1)
+        r.passes.extend([clean, dirty, PassResult(name="spm", skipped=True)])
+        return r
+
+    def test_aggregation(self):
+        r = self.make_report()
+        assert not r.ok
+        assert r.codes() == ["RPR101", "RPR102"]
+        assert r.has_code("RPR101") and not r.has_code("RPR401")
+        assert len(r.by_code("RPR102")) == 1
+
+    def test_render_text(self):
+        text = self.make_report().render_text(verbose=True)
+        assert "2 error(s)" in text
+        assert "commands=3" in text
+        assert "skipped" in text
+        assert "RPR101" in text
+
+    def test_to_json(self):
+        data = json.loads(self.make_report().to_json())
+        assert data["ok"] is False
+        names = [p["name"] for p in data["passes"]]
+        assert names == ["structure", "race", "spm"]
+        assert data["passes"][2]["skipped"] is True
+
+    def test_merge_reports(self):
+        dirty = self.make_report()
+        clean = VerifyReport(model="m", config="Base", machine="tiny")
+        assert merge_reports([clean])
+        assert not merge_reports([clean, dirty])

@@ -1,0 +1,96 @@
+"""verify_model orchestration: pass selection, compile-time hook, traces."""
+
+import dataclasses
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_model
+from repro.hw import exynos2100_like
+from repro.models import inception_v3_stem
+from repro.sim import simulate
+from repro.verify import (
+    PASS_NAMES,
+    VerificationError,
+    check_trace,
+    verify_model,
+)
+
+
+class TestPassSelection:
+    def test_all_passes_by_default(self, stratum_chain):
+        report = verify_model(stratum_chain)
+        assert [p.name for p in report.passes] == list(PASS_NAMES)
+        assert report.ok
+
+    def test_subset(self, stratum_chain):
+        report = verify_model(stratum_chain, passes=["structure", "spm"])
+        assert [p.name for p in report.passes] == ["structure", "spm"]
+
+    def test_unknown_pass_rejected(self, stratum_chain):
+        with pytest.raises(ValueError, match="unknown verifier pass"):
+            verify_model(stratum_chain, passes=["structure", "turbo"])
+
+    def test_report_metadata(self, stratum_chain):
+        report = verify_model(stratum_chain)
+        assert report.model == stratum_chain.graph.name
+        assert report.config == stratum_chain.options.label
+        assert report.machine == stratum_chain.npu.name
+
+
+class TestCompileHook:
+    def test_verify_option_passes_on_clean_model(self):
+        opts = dataclasses.replace(CompileOptions.stratum_config(), verify=True)
+        compiled = compile_model(inception_v3_stem(), exynos2100_like(), opts)
+        assert len(compiled.program) > 0
+
+    def test_verify_option_raises_on_overfull_spm(self):
+        # Shrink every scratch-pad 100x: the working sets cannot fit and
+        # the capacity pass must fail the compile.
+        npu = exynos2100_like()
+        cores = tuple(
+            dataclasses.replace(c, spm_bytes=c.spm_bytes // 100)
+            for c in npu.cores
+        )
+        tiny_spm = dataclasses.replace(npu, cores=cores)
+        opts = dataclasses.replace(CompileOptions.base(), verify=True)
+        with pytest.raises(VerificationError) as exc_info:
+            compile_model(inception_v3_stem(), tiny_spm, opts)
+        assert exc_info.value.report.has_code("RPR310")
+
+
+class TestTraceCrossCheck:
+    def test_simulated_trace_is_clean(self, stratum_chain):
+        result = simulate(stratum_chain.program, stratum_chain.npu)
+        check = check_trace(stratum_chain.program, result.trace)
+        assert check.ok and not check.diagnostics
+        assert check.stats["events"] == len(stratum_chain.program)
+
+    def test_dependency_violation_detected(self, stratum_chain):
+        result = simulate(stratum_chain.program, stratum_chain.npu)
+        events = list(result.trace.events)
+        # Forge an event that starts before one of its dependencies ends.
+        victim_index, victim = next(
+            (i, e)
+            for i, e in enumerate(events)
+            if stratum_chain.program.command(e.cid).deps and e.start > 0
+        )
+        events[victim_index] = dataclasses.replace(victim, start=0.0)
+        forged = dataclasses.replace(result.trace, events=events)
+        check = check_trace(stratum_chain.program, forged)
+        assert any(d.code in ("RPR601", "RPR602") for d in check.diagnostics)
+
+    def test_missing_event_detected(self, stratum_chain):
+        result = simulate(stratum_chain.program, stratum_chain.npu)
+        truncated = dataclasses.replace(
+            result.trace, events=result.trace.events[:-1]
+        )
+        check = check_trace(stratum_chain.program, truncated)
+        assert any(d.code == "RPR603" for d in check.diagnostics)
+
+    def test_duplicate_event_detected(self, stratum_chain):
+        result = simulate(stratum_chain.program, stratum_chain.npu)
+        doubled = dataclasses.replace(
+            result.trace, events=result.trace.events + result.trace.events[-1:]
+        )
+        check = check_trace(stratum_chain.program, doubled)
+        assert any(d.code == "RPR603" for d in check.diagnostics)
