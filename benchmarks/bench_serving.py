@@ -1,0 +1,80 @@
+"""Serving-policy comparison on a backlogged mixed workload.
+
+One seeded open-loop request stream (InceptionV3 + MobileNetV2 at a
+rate the machine cannot absorb serially) is served under all three
+scheduling policies; the headline claim is that dynamic core-group
+allocation finishes the backlog sooner than static whole-machine FIFO,
+because parallel scaling across NPU cores is sublinear and packed
+narrow groups waste less of it.
+
+Results land in ``BENCH_serving.json`` at the repo root (and a text
+copy under ``benchmarks/out/``).  Run standalone with
+``python benchmarks/bench_serving.py`` or through pytest with
+``pytest benchmarks/bench_serving.py --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List
+
+from repro.analysis.serving import render_serving_table, serving_summary, write_serving_report
+from repro.hw import exynos2100_like
+from repro.serve import ServeReport, serve_policies
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_serving.json"
+
+MIX = ["InceptionV3", "MobileNetV2"]
+RPS = 3000.0
+DURATION_US = 8000.0
+SEED = 0
+
+
+def collect(npu) -> List[ServeReport]:
+    return serve_policies(
+        MIX, npu, rps=RPS, duration_us=DURATION_US, seed=SEED
+    )
+
+
+def _render(reports: List[ServeReport]) -> str:
+    summary = serving_summary(reports)
+    lines = [render_serving_table(reports), ""]
+    lines.append(
+        "dynamic vs fifo makespan: "
+        f"{summary['dynamic_vs_fifo_makespan']:.2f}x"
+    )
+    lines.append(f"sjf vs fifo p50: {summary['sjf_vs_fifo_p50']:.2f}x")
+    return "\n".join(lines)
+
+
+def test_serving(benchmark, npu, out_dir):
+    """Serves the workload under all policies; asserts the acceptance
+    criterion (dynamic beats static FIFO on makespan)."""
+    reports = benchmark.pedantic(lambda: collect(npu), rounds=1, iterations=1)
+    by_policy = {r.policy: r for r in reports}
+    benchmark.extra_info["num_requests"] = by_policy["fifo"].num_requests
+    for r in reports:
+        benchmark.extra_info[f"{r.policy}_makespan_us"] = round(r.makespan_us, 1)
+        benchmark.extra_info[f"{r.policy}_p99_us"] = round(r.p99_us, 1)
+    write_serving_report(reports, RESULT_PATH)
+
+    from benchmarks.conftest import emit
+
+    emit(out_dir, "serving.txt", _render(reports))
+    assert by_policy["fifo"].num_requests > 0
+    assert by_policy["dynamic"].makespan_us < by_policy["fifo"].makespan_us
+
+
+def main() -> int:
+    npu = exynos2100_like()
+    reports = collect(npu)
+    write_serving_report(reports, RESULT_PATH)
+    print(_render(reports))
+    print(f"\nwritten to {RESULT_PATH}")
+    by_policy = {r.policy: r for r in reports}
+    return 0 if by_policy["dynamic"].makespan_us < by_policy["fifo"].makespan_us else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

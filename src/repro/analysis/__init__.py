@@ -44,6 +44,11 @@ from repro.analysis.profiles import (
     region_summary,
     table4_profiles,
 )
+from repro.analysis.serving import (
+    render_serving_table,
+    serving_summary,
+    write_serving_report,
+)
 from repro.analysis.tables import format_kb, format_speedup, format_table, format_us
 
 __all__ = [
@@ -70,8 +75,11 @@ __all__ = [
     "render_layer_report",
     "profile_layers",
     "top_layers",
+    "render_serving_table",
     "run_configuration",
     "run_sweep",
+    "serving_summary",
+    "write_serving_report",
     "record_speedups",
     "records_by_model",
     "resolve_model",

@@ -1,0 +1,79 @@
+"""Rendering and export for serving-simulation reports.
+
+Keeps presentation out of :mod:`repro.serve`: the serve package produces
+:class:`~repro.serve.metrics.ServeReport` objects, this module turns a
+set of them (same workload, different policies) into the comparison
+table and the JSON artifact the benchmarks persist.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Sequence, Union
+
+from repro.analysis.tables import format_table
+from repro.serve.metrics import ServeReport
+
+
+def serving_rows(reports: Sequence[ServeReport]) -> List[List[str]]:
+    """One comparison row per policy report."""
+    return [
+        [
+            r.policy,
+            str(r.num_requests),
+            str(r.num_waves),
+            f"{r.makespan_us:,.1f}us",
+            f"{r.p50_us:,.1f}us",
+            f"{r.p95_us:,.1f}us",
+            f"{r.p99_us:,.1f}us",
+            f"{r.slo_miss_rate:.1%}",
+            f"{r.throughput_rps:,.0f}",
+            f"{r.mean_utilization:.1%}",
+        ]
+        for r in reports
+    ]
+
+
+def render_serving_table(reports: Sequence[ServeReport]) -> str:
+    """A policy-comparison table for one served workload."""
+    if not reports:
+        raise ValueError("no serving reports to render")
+    first = reports[0]
+    return format_table(
+        [
+            "Policy", "Reqs", "Waves", "Makespan", "p50", "p95", "p99",
+            "SLO miss", "Thr (r/s)", "Util",
+        ],
+        serving_rows(reports),
+        title=(
+            f"serving {'+'.join(first.models)} on {first.machine} "
+            f"({first.rps:,.0f} rps for {first.duration_us / 1000:.1f} ms, "
+            f"seed {first.seed})"
+        ),
+    )
+
+
+def serving_summary(reports: Sequence[ServeReport]) -> Dict:
+    """A JSON-ready summary: per-policy metrics plus headline ratios."""
+    by_policy = {r.policy: r.to_dict() for r in reports}
+    out: Dict = {"policies": by_policy}
+    fifo = next((r for r in reports if r.policy == "fifo"), None)
+    dyn = next((r for r in reports if r.policy == "dynamic"), None)
+    if fifo and dyn and dyn.makespan_us > 0:
+        out["dynamic_vs_fifo_makespan"] = fifo.makespan_us / dyn.makespan_us
+    sjf = next((r for r in reports if r.policy == "sjf"), None)
+    if fifo and sjf and sjf.p50_us > 0:
+        out["sjf_vs_fifo_p50"] = fifo.p50_us / sjf.p50_us
+    return out
+
+
+def write_serving_report(
+    reports: Sequence[ServeReport], path: Union[str, pathlib.Path]
+) -> pathlib.Path:
+    """Persist :func:`serving_summary` as pretty-printed JSON."""
+    path = pathlib.Path(path)
+    path.write_text(
+        json.dumps(serving_summary(reports), indent=2, sort_keys=True) + "\n"
+    )
+    return path

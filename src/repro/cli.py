@@ -7,6 +7,7 @@ Subcommands:
 * ``compile``   -- compile and summarize the compiler's decisions
 * ``run``       -- compile + simulate; latency, traffic, energy, exports
 * ``sweep``     -- the four paper configurations side by side (Fig. 11 row)
+* ``serve``     -- request-level serving simulation (queueing + SLOs)
 * ``lint``      -- statically verify compiled command streams
 * ``table4`` / ``table5`` -- regenerate those paper tables
 """
@@ -323,6 +324,41 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0 if all(r.ok for r in reports) else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import POLICY_NAMES, serve_policies
+
+    npu = _machine(args.machine)
+    for name in args.models:
+        _graph(name)  # validate names before generating the workload
+    duration_ms = 2.0 if args.duration_short else args.duration
+    policies = list(POLICY_NAMES) if args.policy == "all" else [args.policy]
+    reports = serve_policies(
+        args.models,
+        npu,
+        policies=policies,
+        rps=args.rps,
+        duration_us=duration_ms * 1000.0,
+        seed=args.seed,
+        options=CONFIGS[args.config](),
+        slo_scale=args.slo_scale,
+        max_requests=args.requests,
+    )
+
+    if args.json:
+        print(json.dumps([r.to_dict() for r in reports], indent=2))
+        return 0
+    from repro.analysis import render_serving_table
+
+    print(render_serving_table(reports))
+    print(
+        f"\n{sum(r.verified_programs for r in reports)} merged program(s) "
+        f"built, all verifier-clean"
+    )
+    return 0
+
+
 def cmd_table5(args: argparse.Namespace) -> int:
     npu = _machine(args.machine)
     stem = inception_v3_stem()
@@ -446,6 +482,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true",
                    help="print per-pass statistics")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "serve", help="request-level serving simulation (queueing + SLOs)"
+    )
+    p.add_argument(
+        "models", nargs="+", metavar="MODEL",
+        help=f"workload mix, one or more of {model_names()} or 'stem'",
+    )
+    p.add_argument("--machine", default="exynos2100")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--config", choices=sorted(CONFIGS), default="stratum",
+        help="compile configuration for multi-core groups",
+    )
+    p.add_argument(
+        "--policy", choices=["fifo", "sjf", "dynamic", "all"], default="all",
+        help="scheduling policy, or 'all' to compare (default)",
+    )
+    p.add_argument(
+        "--rps", type=float, default=800.0,
+        help="offered load, requests per second of simulated time",
+    )
+    p.add_argument(
+        "--duration", type=float, default=20.0, metavar="MS",
+        help="arrival window in simulated milliseconds",
+    )
+    p.add_argument(
+        "--duration-short", action="store_true",
+        help="2 ms smoke-test window (overrides --duration)",
+    )
+    p.add_argument(
+        "--requests", type=int, default=0, metavar="N",
+        help="additionally cap the workload at N requests",
+    )
+    p.add_argument(
+        "--slo-scale", type=float, default=5.0,
+        help="per-request SLO as a multiple of the model's isolated "
+        "latency (0 disables SLOs)",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("table4", help="partitioning-scheme profile")
     common(p, config=False)

@@ -1,0 +1,47 @@
+"""Request-level serving simulator on top of the compiler + machine sim.
+
+``repro.serve`` answers the question the per-program simulator cannot:
+what happens when inference *requests* arrive over time and a scheduler
+must decide which ones run when, on which cores.  See
+:mod:`repro.serve.server` for the execution model.
+"""
+
+from repro.serve.metrics import ServeReport, build_report, percentile
+from repro.serve.policies import (
+    Assignment,
+    DynamicPolicy,
+    FifoPolicy,
+    POLICY_NAMES,
+    SchedulingPolicy,
+    SjfPolicy,
+    get_policy,
+)
+from repro.serve.predictor import LatencyPredictor, resolve_graph
+from repro.serve.request import (
+    MixEntry,
+    Request,
+    RequestResult,
+    generate_requests,
+)
+from repro.serve.server import serve, serve_policies
+
+__all__ = [
+    "Assignment",
+    "DynamicPolicy",
+    "FifoPolicy",
+    "LatencyPredictor",
+    "MixEntry",
+    "POLICY_NAMES",
+    "Request",
+    "RequestResult",
+    "SchedulingPolicy",
+    "ServeReport",
+    "SjfPolicy",
+    "build_report",
+    "generate_requests",
+    "get_policy",
+    "percentile",
+    "resolve_graph",
+    "serve",
+    "serve_policies",
+]

@@ -1,0 +1,158 @@
+"""Serving metrics: latency percentiles, SLO compliance, utilization."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.serve.request import RequestResult
+
+
+def percentile(xs: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile (p in [0, 100]); 0.0 on empty input."""
+    if not xs:
+        return 0.0
+    if not 0 <= p <= 100:
+        raise ValueError("percentile must be in [0, 100]")
+    ordered = sorted(xs)
+    if p == 0:
+        return ordered[0]
+    rank = max(1, -(-len(ordered) * p // 100))  # ceil without float error
+    return ordered[int(rank) - 1]
+
+
+@dataclasses.dataclass(frozen=True)
+class ServeReport:
+    """Aggregated outcome of serving one workload under one policy."""
+
+    policy: str
+    machine: str
+    models: Tuple[str, ...]
+    seed: int
+    rps: float
+    duration_us: float
+    num_requests: int
+    num_waves: int
+    #: completion time of the last request (0 for an empty workload).
+    makespan_us: float
+    p50_us: float
+    p95_us: float
+    p99_us: float
+    mean_latency_us: float
+    mean_queue_us: float
+    mean_exec_us: float
+    slo_miss_rate: float
+    #: completed requests per second of simulated time.
+    throughput_rps: float
+    #: busy fraction per core over the serving makespan.
+    utilization: Tuple[float, ...]
+    #: distinct merged programs built (each one verifier-clean).
+    verified_programs: int
+    results: Tuple[RequestResult, ...] = dataclasses.field(repr=False)
+
+    @property
+    def mean_utilization(self) -> float:
+        if not self.utilization:
+            return 0.0
+        return sum(self.utilization) / len(self.utilization)
+
+    def to_dict(self, include_requests: bool = False) -> Dict:
+        out = {
+            "policy": self.policy,
+            "machine": self.machine,
+            "models": list(self.models),
+            "seed": self.seed,
+            "rps": self.rps,
+            "duration_us": self.duration_us,
+            "num_requests": self.num_requests,
+            "num_waves": self.num_waves,
+            "makespan_us": self.makespan_us,
+            "p50_us": self.p50_us,
+            "p95_us": self.p95_us,
+            "p99_us": self.p99_us,
+            "mean_latency_us": self.mean_latency_us,
+            "mean_queue_us": self.mean_queue_us,
+            "mean_exec_us": self.mean_exec_us,
+            "slo_miss_rate": self.slo_miss_rate,
+            "throughput_rps": self.throughput_rps,
+            "utilization": list(self.utilization),
+            "mean_utilization": self.mean_utilization,
+            "verified_programs": self.verified_programs,
+        }
+        if include_requests:
+            out["requests"] = [
+                {
+                    "rid": r.request.rid,
+                    "model": r.request.model,
+                    "arrival_us": r.request.arrival_us,
+                    "slo_us": r.request.slo_us,
+                    "start_us": r.start_us,
+                    "finish_us": r.finish_us,
+                    "queue_us": r.queue_us,
+                    "exec_us": r.exec_us,
+                    "total_us": r.total_us,
+                    "slo_met": r.slo_met,
+                    "cores": list(r.cores),
+                    "wave": r.wave,
+                }
+                for r in self.results
+            ]
+        return out
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def build_report(
+    policy: str,
+    machine: str,
+    models: Sequence[str],
+    seed: int,
+    rps: float,
+    duration_us: float,
+    results: Sequence[RequestResult],
+    num_waves: int,
+    busy_cycles: Sequence[float],
+    makespan_cycles: float,
+    latency_us_per_cycle: float,
+    verified_programs: int,
+) -> ServeReport:
+    """Aggregate per-request results into a :class:`ServeReport`."""
+    totals = [r.total_us for r in results]
+    queues = [r.queue_us for r in results]
+    execs = [r.exec_us for r in results]
+    with_slo = [r for r in results if r.request.slo_us > 0]
+    missed = sum(1 for r in with_slo if not r.slo_met)
+    makespan_us = makespan_cycles * latency_us_per_cycle
+    utilization = tuple(
+        (busy / makespan_cycles) if makespan_cycles > 0 else 0.0
+        for busy in busy_cycles
+    )
+    return ServeReport(
+        policy=policy,
+        machine=machine,
+        models=tuple(models),
+        seed=seed,
+        rps=rps,
+        duration_us=duration_us,
+        num_requests=len(results),
+        num_waves=num_waves,
+        makespan_us=makespan_us,
+        p50_us=percentile(totals, 50),
+        p95_us=percentile(totals, 95),
+        p99_us=percentile(totals, 99),
+        mean_latency_us=sum(totals) / len(totals) if totals else 0.0,
+        mean_queue_us=sum(queues) / len(queues) if queues else 0.0,
+        mean_exec_us=sum(execs) / len(execs) if execs else 0.0,
+        slo_miss_rate=missed / len(with_slo) if with_slo else 0.0,
+        throughput_rps=(len(results) / makespan_us * 1e6) if makespan_us > 0 else 0.0,
+        utilization=utilization,
+        verified_programs=verified_programs,
+        results=tuple(results),
+    )
+
+
+def results_sorted(results: Sequence[RequestResult]) -> List[RequestResult]:
+    """Results in request-id order (waves complete out of order)."""
+    return sorted(results, key=lambda r: r.request.rid)

@@ -1,0 +1,175 @@
+"""Admission policies: which queued requests run next, on which cores.
+
+A policy turns the request queue into a *wave*: a set of requests that
+start together on disjoint core groups.  Three policies ship:
+
+* ``fifo`` -- strict arrival order, one request at a time on the whole
+  machine (the static baseline);
+* ``sjf`` -- shortest job first by the program cache's predicted
+  latency, still whole-machine (reorders the queue, same packing);
+* ``dynamic`` -- packs queued requests onto disjoint core groups sized
+  by predicted work, choosing the wave width whose *measured* merged
+  latency serves the most requests per microsecond (parallel scaling
+  across cores is sublinear, so under backlog narrower groups serve the
+  queue faster -- unless bus contention eats the win, which the
+  measurement catches).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple, Type
+
+from repro.hw.config import NPUConfig
+from repro.serve.predictor import LatencyPredictor
+from repro.serve.request import Request
+
+#: one wave: (request, core group) pairs on pairwise-disjoint groups.
+Assignment = List[Tuple[Request, Tuple[int, ...]]]
+
+
+class SchedulingPolicy:
+    """Base class; subclasses override :meth:`plan`."""
+
+    name = "?"
+
+    def plan(
+        self,
+        queue: Sequence[Request],
+        npu: NPUConfig,
+        predictor: LatencyPredictor,
+    ) -> Assignment:
+        """Pick the next wave from ``queue`` (non-empty, arrival order).
+
+        Returns at least one assignment; the server removes the chosen
+        requests from its queue.
+        """
+        raise NotImplementedError
+
+
+class FifoPolicy(SchedulingPolicy):
+    """First come, first served; every request gets all cores."""
+
+    name = "fifo"
+
+    def plan(
+        self,
+        queue: Sequence[Request],
+        npu: NPUConfig,
+        predictor: LatencyPredictor,
+    ) -> Assignment:
+        return [(queue[0], predictor.all_cores)]
+
+
+class SjfPolicy(SchedulingPolicy):
+    """Shortest predicted job first; every request gets all cores.
+
+    Prediction comes from the program cache's isolated simulation, so
+    ranking N queued requests costs one simulation per *distinct* model,
+    not per request.  Ties break by arrival order.
+    """
+
+    name = "sjf"
+
+    def plan(
+        self,
+        queue: Sequence[Request],
+        npu: NPUConfig,
+        predictor: LatencyPredictor,
+    ) -> Assignment:
+        best = min(
+            queue,
+            key=lambda r: (predictor.predicted_latency_us(r.model), r.rid),
+        )
+        return [(best, predictor.all_cores)]
+
+
+class DynamicPolicy(SchedulingPolicy):
+    """Dynamic core-group allocation: pack concurrent requests.
+
+    For every candidate width ``w`` up to ``min(len(queue), num_cores,
+    max_width)``, the oldest ``w`` requests get contiguous disjoint core
+    groups sized longest-processing-time first (every request one core,
+    each spare core to the request with the most remaining per-core
+    work), and the candidate wave's latency is *measured* by simulating
+    its merged program (memoized per wave shape in the predictor -- this
+    is what prices cross-group bus contention, which isolated estimates
+    miss).  The width that maximizes requests served per microsecond
+    wins; ties go to the narrower wave.
+    """
+
+    name = "dynamic"
+
+    def __init__(self, max_width: int = 0) -> None:
+        if max_width < 0:
+            raise ValueError("max_width must be >= 0")
+        self.max_width = max_width
+
+    def plan(
+        self,
+        queue: Sequence[Request],
+        npu: NPUConfig,
+        predictor: LatencyPredictor,
+    ) -> Assignment:
+        width_cap = min(len(queue), npu.num_cores)
+        if self.max_width:
+            width_cap = min(width_cap, self.max_width)
+        best_throughput = 0.0
+        best: Assignment = []
+        for width in range(1, width_cap + 1):
+            picked = list(queue[:width])
+            groups = self._pack(picked, npu, predictor, width)
+            pattern = tuple(
+                (r.model, g) for r, g in zip(picked, groups)
+            )
+            wave_us = predictor.wave_latency_us(pattern)
+            throughput = width / wave_us
+            if throughput > best_throughput:
+                best_throughput = throughput
+                best = list(zip(picked, groups))
+        return best
+
+    @staticmethod
+    def _pack(
+        picked: Sequence[Request],
+        npu: NPUConfig,
+        predictor: LatencyPredictor,
+        width: int,
+    ) -> List[Tuple[int, ...]]:
+        """Contiguous disjoint groups covering the machine, sized LPT.
+
+        Work proxy: the whole-machine predicted latency (one cached
+        simulation per distinct model).
+        """
+        work = [predictor.predicted_latency_us(r.model) for r in picked]
+        sizes = [1] * width
+        for _ in range(npu.num_cores - width):
+            # deterministic argmax of remaining per-core work.
+            i = max(
+                range(width),
+                key=lambda j: (work[j] / sizes[j], -j),
+            )
+            sizes[i] += 1
+        groups: List[Tuple[int, ...]] = []
+        next_core = 0
+        for size in sizes:
+            groups.append(tuple(range(next_core, next_core + size)))
+            next_core += size
+        return groups
+
+
+_POLICIES: Dict[str, Type[SchedulingPolicy]] = {
+    p.name: p for p in (FifoPolicy, SjfPolicy, DynamicPolicy)
+}
+
+#: registered policy names, in presentation order.
+POLICY_NAMES: Tuple[str, ...] = ("fifo", "sjf", "dynamic")
+
+
+def get_policy(name: str) -> SchedulingPolicy:
+    """Instantiate a policy by registry name."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; one of {sorted(_POLICIES)}"
+        ) from None

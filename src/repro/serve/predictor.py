@@ -1,0 +1,149 @@
+"""Latency prediction backed by the fingerprint-keyed program cache.
+
+The serving scheduler needs two things per (model, core group): the
+compiled program to launch, and a latency estimate to rank and pack
+requests.  Both come from one place -- compilation goes through
+:class:`repro.compiler.cache.ProgramCache`, so every distinct
+(model, core group) pair compiles exactly once per server no matter how
+many requests ride on it, and the prediction is the program's isolated
+simulated latency on its group (memoized per compile fingerprint).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.compiler.cache import ProgramCache, compile_cached, compile_key
+from repro.compiler.compiler import CompiledModel
+from repro.compiler.options import CompileOptions
+from repro.compiler.program import Program
+from repro.hw.config import NPUConfig
+from repro.ir.graph import Graph
+from repro.models import get_model, inception_v3_stem
+from repro.sim.multitenant import merge_programs, sub_machine
+from repro.sim.simulator import SimResult, simulate
+
+#: one wave's shape: ((model, core group), ...) -- request identities
+#: erased, so equal shapes share compiled artifacts and estimates.
+WavePattern = Tuple[Tuple[str, Tuple[int, ...]], ...]
+
+
+def resolve_graph(name: str) -> Graph:
+    """Zoo lookup; ``"stem"`` is the InceptionV3 stem."""
+    if name == "stem":
+        return inception_v3_stem()
+    return get_model(name)
+
+
+class LatencyPredictor:
+    """Compile-and-estimate service for the serving policies.
+
+    One instance owns a :class:`ProgramCache` plus a memo of isolated
+    simulation results; all serving policies of one server share it so
+    their predictions (and therefore their decisions) are deterministic
+    and cheap.
+    """
+
+    def __init__(
+        self,
+        npu: NPUConfig,
+        options: Optional[CompileOptions] = None,
+        cache: Optional[ProgramCache] = None,
+        seed: int = 0,
+    ) -> None:
+        self.npu = npu
+        self.options = options or CompileOptions.stratum_config()
+        self.cache = cache if cache is not None else ProgramCache()
+        self.seed = seed
+        self.all_cores: Tuple[int, ...] = tuple(range(npu.num_cores))
+        self._graphs: Dict[str, Graph] = {}
+        self._runs: Dict[str, SimResult] = {}
+        self._merged: Dict[WavePattern, Program] = {}
+        self._wave_latency: Dict[WavePattern, float] = {}
+
+    def graph(self, model: str) -> Graph:
+        g = self._graphs.get(model)
+        if g is None:
+            g = resolve_graph(model)
+            self._graphs[model] = g
+        return g
+
+    def machine_for(self, cores: Tuple[int, ...]) -> NPUConfig:
+        """The machine a request compiled on ``cores`` sees.
+
+        The sub-machine's name depends only on the core set, so compile
+        fingerprints -- and with them the program cache -- are stable
+        across requests and waves.
+        """
+        if cores == self.all_cores:
+            return self.npu
+        return sub_machine(self.npu, cores, "g" + "-".join(str(c) for c in cores))
+
+    def options_for(self, cores: Tuple[int, ...]) -> CompileOptions:
+        if len(cores) == 1:
+            return CompileOptions.single_core()
+        return self.options
+
+    def compiled_for(
+        self, model: str, cores: Optional[Tuple[int, ...]] = None
+    ) -> CompiledModel:
+        """Compile ``model`` for a core group, through the cache."""
+        cores = cores or self.all_cores
+        return compile_cached(
+            self.graph(model),
+            self.machine_for(cores),
+            self.options_for(cores),
+            cache=self.cache,
+        )
+
+    def isolated_run(
+        self, model: str, cores: Optional[Tuple[int, ...]] = None
+    ) -> SimResult:
+        """The model's isolated simulation on its group (memoized)."""
+        cores = cores or self.all_cores
+        machine = self.machine_for(cores)
+        key = compile_key(self.graph(model), machine, self.options_for(cores))
+        run = self._runs.get(key)
+        if run is None:
+            compiled = self.compiled_for(model, cores)
+            run = simulate(compiled.program, machine, seed=self.seed)
+            self._runs[key] = run
+        return run
+
+    def predicted_latency_us(
+        self, model: str, cores: Optional[Tuple[int, ...]] = None
+    ) -> float:
+        """Predicted service latency of ``model`` on ``cores``."""
+        return self.isolated_run(model, cores).latency_us
+
+    def merged_for(self, pattern: WavePattern) -> Program:
+        """The merged (and statically verified) program of one wave.
+
+        Slot labels ``s0..sN`` rather than request ids name the tenants,
+        so equal wave shapes -- across waves and across policies -- share
+        one program and with it the simulator's per-program plan cache.
+        """
+        merged = self._merged.get(pattern)
+        if merged is None:
+            parts = [
+                (self.compiled_for(model, cores).program, list(cores), f"s{slot}")
+                for slot, (model, cores) in enumerate(pattern)
+            ]
+            merged = merge_programs(parts, self.npu.num_cores)
+            self._merged[pattern] = merged
+        return merged
+
+    def wave_latency_us(self, pattern: WavePattern) -> float:
+        """Measured latency of one wave shape, bus contention included.
+
+        Isolated per-request estimates miss cross-group bus contention,
+        which on a shared-DRAM machine can nearly double a wave (three
+        single-core InceptionV3s take ~1.75x their isolated latency).
+        Simulating the merged wave itself -- memoized per shape -- gives
+        packing decisions the number that actually matters.
+        """
+        est = self._wave_latency.get(pattern)
+        if est is None:
+            est = simulate(self.merged_for(pattern), self.npu, seed=self.seed).latency_us
+            self._wave_latency[pattern] = est
+        return est

@@ -1,0 +1,133 @@
+"""Requests and the deterministic open-loop arrival generator.
+
+A serving workload is a stream of inference *requests*: each names a
+model, arrives at a point in simulated time, and optionally carries a
+latency SLO.  The generator is open-loop (arrivals do not wait for
+completions -- the regime that actually stresses a scheduler) with
+Poisson interarrivals drawn from one seeded generator, so a fixed
+``(models, rps, duration, seed)`` tuple always produces the identical
+request stream regardless of scheduling policy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+#: a workload mix entry: a model name, or (model name, relative weight).
+MixEntry = Union[str, Tuple[str, float]]
+
+
+@dataclasses.dataclass(frozen=True)
+class Request:
+    """One inference request.
+
+    ``slo_us`` is the end-to-end (queueing + execution) latency target;
+    zero means the request carries no SLO.
+    """
+
+    rid: int
+    model: str
+    arrival_us: float
+    slo_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.arrival_us < 0:
+            raise ValueError(f"request {self.rid}: negative arrival time")
+        if self.slo_us < 0:
+            raise ValueError(f"request {self.rid}: negative SLO")
+
+
+@dataclasses.dataclass(frozen=True)
+class RequestResult:
+    """The served outcome of one request."""
+
+    request: Request
+    #: when the request's first command started executing.
+    start_us: float
+    #: when its last command completed.
+    finish_us: float
+    #: the core group it ran on.
+    cores: Tuple[int, ...]
+    #: index of the wave that executed it.
+    wave: int
+
+    @property
+    def queue_us(self) -> float:
+        """Time spent waiting for admission."""
+        return max(0.0, self.start_us - self.request.arrival_us)
+
+    @property
+    def exec_us(self) -> float:
+        """Execution span on the machine (first start to last end)."""
+        return self.finish_us - self.start_us
+
+    @property
+    def total_us(self) -> float:
+        """End-to-end latency: arrival to completion."""
+        return self.finish_us - self.request.arrival_us
+
+    @property
+    def slo_met(self) -> bool:
+        """True when there is no SLO or the end-to-end latency beat it."""
+        return self.request.slo_us <= 0 or self.total_us <= self.request.slo_us
+
+
+def _normalize_mix(models: Sequence[MixEntry]) -> Tuple[List[str], List[float]]:
+    names: List[str] = []
+    weights: List[float] = []
+    for entry in models:
+        if isinstance(entry, str):
+            names.append(entry)
+            weights.append(1.0)
+        else:
+            name, weight = entry
+            if weight <= 0:
+                raise ValueError(f"model {name!r}: weight must be positive")
+            names.append(name)
+            weights.append(float(weight))
+    if not names:
+        raise ValueError("workload mix needs at least one model")
+    return names, weights
+
+
+def generate_requests(
+    models: Sequence[MixEntry],
+    rps: float,
+    duration_us: float,
+    seed: int = 0,
+    max_requests: int = 0,
+    slo_of: Optional[Callable[[str], float]] = None,
+) -> List[Request]:
+    """Draw an open-loop Poisson request stream.
+
+    Arrivals fall in ``[0, duration_us)`` at ``rps`` requests per second
+    of simulated time; ``max_requests`` (when positive) additionally
+    caps the count.  ``slo_of`` maps a model name to its per-request SLO
+    in microseconds (omitted: no SLOs).  Deterministic per seed.
+    """
+    if rps <= 0:
+        raise ValueError("rps must be positive")
+    if duration_us <= 0:
+        raise ValueError("duration_us must be positive")
+    names, weights = _normalize_mix(models)
+
+    rng = random.Random(seed)
+    mean_gap_us = 1e6 / rps
+    requests: List[Request] = []
+    clock = rng.expovariate(1.0) * mean_gap_us
+    while clock < duration_us:
+        if max_requests and len(requests) >= max_requests:
+            break
+        model = rng.choices(names, weights=weights)[0]
+        requests.append(
+            Request(
+                rid=len(requests),
+                model=model,
+                arrival_us=clock,
+                slo_us=slo_of(model) if slo_of is not None else 0.0,
+            )
+        )
+        clock += rng.expovariate(1.0) * mean_gap_us
+    return requests

@@ -1,0 +1,204 @@
+"""The request-level serving simulator.
+
+Layers a queueing loop over the compiler and the event-driven machine
+simulator: requests arrive open-loop, a policy packs the queue into
+*waves* (requests that start together on disjoint core groups), each
+wave's per-request programs are merged with
+:func:`repro.sim.multitenant.merge_programs` -- which statically
+verifies the merged command stream -- and the wave runs on the machine
+model, so concurrent requests contend for the one resource they
+physically share: the bus to global memory.
+
+Determinism: the arrival stream is seeded, policies are deterministic
+functions of the queue and the (cached) latency predictions, and each
+wave simulates with a seed derived from (server seed, wave index).
+Running the same workload twice produces identical reports.
+
+Modeling note: waves are gang-scheduled -- the next wave starts when the
+current one fully drains.  Admission is therefore conservative; the
+queueing delays reported are an upper bound relative to a runtime that
+backfills cores the moment they free up.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.compiler.cache import ProgramCache
+from repro.compiler.options import CompileOptions
+from repro.hw.config import NPUConfig
+from repro.serve.metrics import ServeReport, build_report, results_sorted
+from repro.serve.policies import POLICY_NAMES, SchedulingPolicy, get_policy
+from repro.serve.predictor import LatencyPredictor
+from repro.serve.request import (
+    MixEntry,
+    Request,
+    RequestResult,
+    generate_requests,
+)
+from repro.sim.multitenant import tenant_spans
+from repro.sim.simulator import simulate
+
+_EPS = 1e-9
+
+
+def _slot_name(slot: int) -> str:
+    return f"s{slot}"
+
+
+def serve(
+    models: Sequence[MixEntry],
+    npu: NPUConfig,
+    policy: Union[str, SchedulingPolicy] = "fifo",
+    rps: float = 800.0,
+    duration_us: float = 20_000.0,
+    seed: int = 0,
+    options: Optional[CompileOptions] = None,
+    slo_scale: float = 5.0,
+    max_requests: int = 0,
+    predictor: Optional[LatencyPredictor] = None,
+    cache: Optional[ProgramCache] = None,
+) -> ServeReport:
+    """Serve one generated workload under one policy.
+
+    ``slo_scale`` sets each request's SLO to ``slo_scale`` times its
+    model's isolated whole-machine latency (0 disables SLOs).  Passing a
+    shared ``predictor`` (or ``cache``) lets several policy runs reuse
+    compilations and isolated simulations.
+    """
+    if isinstance(policy, str):
+        policy = get_policy(policy)
+    if predictor is None:
+        predictor = LatencyPredictor(npu, options, cache=cache, seed=seed)
+
+    slo_of = None
+    if slo_scale > 0:
+        slo_of = lambda m: slo_scale * predictor.predicted_latency_us(m)  # noqa: E731
+    requests = generate_requests(
+        models,
+        rps=rps,
+        duration_us=duration_us,
+        seed=seed,
+        max_requests=max_requests,
+        slo_of=slo_of,
+    )
+
+    pending = deque(requests)
+    queue: List[Request] = []
+    results: List[RequestResult] = []
+    busy_cycles = [0.0] * npu.num_cores
+    patterns_used: set = set()
+    clock = 0.0
+    makespan_us = 0.0
+    wave_index = 0
+
+    while pending or queue:
+        if not queue:
+            clock = max(clock, pending[0].arrival_us)
+        while pending and pending[0].arrival_us <= clock + _EPS:
+            queue.append(pending.popleft())
+
+        assignments = policy.plan(queue, npu, predictor)
+        _check_assignments(assignments, queue, npu)
+        for request, _ in assignments:
+            queue.remove(request)
+
+        # One merged program per distinct wave shape, built and verified
+        # in the predictor's memo -- waves that repeat a shape (and
+        # policies sharing the predictor) reuse the program and the
+        # simulator's per-(program, machine) plan cache.
+        pattern = tuple((r.model, cores) for r, cores in assignments)
+        merged = predictor.merged_for(pattern)
+        patterns_used.add(pattern)
+
+        sim = simulate(merged, npu, seed=seed + wave_index)
+        spans = tenant_spans(
+            sim.trace, [_slot_name(slot) for slot in range(len(assignments))]
+        )
+        for slot, (request, cores) in enumerate(assignments):
+            start_cy, end_cy = spans.get(_slot_name(slot), (0.0, 0.0))
+            finish_us = clock + npu.cycles_to_us(end_cy)
+            results.append(
+                RequestResult(
+                    request=request,
+                    start_us=clock + npu.cycles_to_us(start_cy),
+                    finish_us=finish_us,
+                    cores=cores,
+                    wave=wave_index,
+                )
+            )
+            makespan_us = max(makespan_us, finish_us)
+        for core in range(npu.num_cores):
+            busy_cycles[core] += sim.trace.busy_time(core)
+        clock += sim.latency_us
+        wave_index += 1
+
+    makespan_cycles = npu.us_to_cycles(makespan_us)
+    return build_report(
+        policy=policy.name,
+        machine=npu.name,
+        models=[m if isinstance(m, str) else m[0] for m in models],
+        seed=seed,
+        rps=rps,
+        duration_us=duration_us,
+        results=results_sorted(results),
+        num_waves=wave_index,
+        busy_cycles=busy_cycles,
+        makespan_cycles=makespan_cycles,
+        latency_us_per_cycle=npu.cycles_to_us(1.0),
+        verified_programs=len(patterns_used),
+    )
+
+
+def serve_policies(
+    models: Sequence[MixEntry],
+    npu: NPUConfig,
+    policies: Optional[Sequence[Union[str, SchedulingPolicy]]] = None,
+    **kwargs,
+) -> List[ServeReport]:
+    """Serve the identical workload under several policies.
+
+    One shared predictor means the compile and isolated-simulation work
+    is paid once; the per-policy runs then differ only in scheduling.
+    """
+    policies = list(policies) if policies is not None else list(POLICY_NAMES)
+    predictor = kwargs.pop("predictor", None)
+    if predictor is None:
+        predictor = LatencyPredictor(
+            npu,
+            kwargs.get("options"),
+            cache=kwargs.pop("cache", None),
+            seed=kwargs.get("seed", 0),
+        )
+    return [
+        serve(models, npu, policy=p, predictor=predictor, **kwargs)
+        for p in policies
+    ]
+
+
+def _check_assignments(
+    assignments: Sequence[Tuple[Request, Tuple[int, ...]]],
+    queue: Sequence[Request],
+    npu: NPUConfig,
+) -> None:
+    """Guard rails for (possibly user-supplied) policies."""
+    if not assignments:
+        raise RuntimeError("policy returned an empty wave for a non-empty queue")
+    queued = {r.rid for r in queue}
+    used: set = set()
+    for request, cores in assignments:
+        if request.rid not in queued:
+            raise RuntimeError(
+                f"policy scheduled request {request.rid}, which is not queued"
+            )
+        if not cores:
+            raise RuntimeError(f"request {request.rid}: empty core group")
+        for c in cores:
+            if not 0 <= c < npu.num_cores:
+                raise RuntimeError(f"request {request.rid}: core {c} out of range")
+            if c in used:
+                raise RuntimeError(
+                    f"core {c} assigned to two requests in one wave"
+                )
+            used.add(c)

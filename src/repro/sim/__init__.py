@@ -10,11 +10,17 @@ from repro.sim.multitenant import (
     merge_programs,
     run_concurrent,
     sub_machine,
+    tenant_spans,
 )
 from repro.sim.reference_scheduler import simulate_reference
 from repro.sim.simulator import SimResult, simulate
 from repro.sim.throughput import ThroughputResult, measure_throughput, repeat_program
-from repro.sim.stats import CoreStats, RunStats, collect_stats
+from repro.sim.stats import (
+    CoreStats,
+    RunStats,
+    collect_stats,
+    count_barrier_groups,
+)
 from repro.sim.trace import Trace, TraceEvent
 
 __all__ = [
@@ -39,6 +45,8 @@ __all__ = [
     "Trace",
     "TraceEvent",
     "collect_stats",
+    "count_barrier_groups",
     "simulate",
     "simulate_reference",
+    "tenant_spans",
 ]

@@ -27,6 +27,7 @@ from repro.compiler.program import Command, Program
 from repro.hw.config import NPUConfig
 from repro.ir.graph import Graph
 from repro.sim.simulator import SimResult, simulate
+from repro.sim.trace import Trace
 
 
 @dataclasses.dataclass(frozen=True)
@@ -47,10 +48,19 @@ class Tenant:
 
 @dataclasses.dataclass
 class TenantResult:
-    """Per-tenant outcome of a concurrent run."""
+    """Per-tenant outcome of a concurrent run.
+
+    ``latency_us`` is the tenant's *span*: last event end minus first
+    event start.  ``completion_us`` is the absolute end time on the
+    shared clock.  The two coincide only for tenants that start at t=0;
+    a tenant admitted later (as the serving scheduler does) has
+    ``completion_us > latency_us``.
+    """
 
     name: str
     latency_us: float
+    completion_us: float
+    start_us: float
     isolated_latency_us: float
     compiled: CompiledModel
 
@@ -117,7 +127,41 @@ def merge_programs(
         offset += len(program.commands)
     merged = Program(num_cores=num_cores, commands=commands)
     merged.validate()
+    # Remapping ids and cores can silently manufacture a queue/dependency
+    # deadlock that per-part validation cannot see; run the static
+    # verifier's structure pass over the merged whole.
+    from repro.verify import VerificationError, verify_program
+
+    report = verify_program(
+        merged, model="+".join(name for _, _, name in parts), config="merged"
+    )
+    if not report.ok:
+        raise VerificationError(report)
     return merged
+
+
+def tenant_spans(
+    trace: Trace, names: Sequence[str]
+) -> Dict[str, Tuple[float, float]]:
+    """(first start, last end) in cycles of each tenant's trace events.
+
+    Tenants are identified by the layer prefix :func:`merge_programs`
+    applied.  Names without any events are absent from the result.
+    """
+    spans: Dict[str, Tuple[float, float]] = {}
+    for name in names:
+        prefix = f"{name}/"
+        starts_ends = [
+            (e.start, e.end)
+            for e in trace.events
+            if e.layer.startswith(prefix) or e.layer == name
+        ]
+        if starts_ends:
+            spans[name] = (
+                min(s for s, _ in starts_ends),
+                max(e for _, e in starts_ends),
+            )
+    return spans
 
 
 def auto_assign(
@@ -187,19 +231,16 @@ def run_concurrent(
     merged = merge_programs(parts, npu.num_cores)
     sim = simulate(merged, npu, seed=seed)
 
+    spans = tenant_spans(sim.trace, [t.name for t in tenants])
     results = []
     for t in tenants:
-        prefix = f"{t.name}/"
-        spans = [
-            e.end
-            for e in sim.trace.events
-            if e.layer.startswith(prefix) or e.layer == t.name
-        ]
-        latency = npu.cycles_to_us(max(spans)) if spans else 0.0
+        start, end = spans.get(t.name, (0.0, 0.0))
         results.append(
             TenantResult(
                 name=t.name,
-                latency_us=latency,
+                latency_us=npu.cycles_to_us(end - start),
+                completion_us=npu.cycles_to_us(end),
+                start_us=npu.cycles_to_us(start),
                 isolated_latency_us=isolated[t.name],
                 compiled=compiled[t.name],
             )

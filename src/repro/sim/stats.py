@@ -16,10 +16,16 @@ from repro.compiler.program import CommandKind, Engine
 from repro.hw.config import NPUConfig
 from repro.sim.trace import Trace
 
+#: global<->local DRAM transfers -- the Table 4 "data transfer" metric.
 _TRANSFER_KINDS = (
     CommandKind.LOAD_INPUT,
     CommandKind.LOAD_WEIGHT,
     CommandKind.STORE_OUTPUT,
+)
+
+#: core-to-core halo exchange; one logical exchange is a SEND/RECV pair
+#: carrying the same payload, so run totals count only the receive side.
+_HALO_KINDS = (
     CommandKind.HALO_SEND,
     CommandKind.HALO_RECV,
 )
@@ -41,7 +47,11 @@ class CoreStats:
     """Per-core aggregates over one run."""
 
     core: int
+    #: global<->local DRAM traffic only (loads + stores; Table 4).
     transfer_bytes: int
+    #: halo bytes received by this core; one logical exchange counts once
+    #: (the matching sends stay visible in ``bytes_by_kind``).
+    halo_bytes: int
     bytes_by_kind: Dict[CommandKind, int]
     compute_cycles: float
     busy_cycles: float
@@ -69,7 +79,13 @@ class RunStats:
 
     @property
     def total_transfer_bytes(self) -> int:
+        """Global<->local DRAM bytes moved (halo exchange excluded)."""
         return sum(c.transfer_bytes for c in self.cores)
+
+    @property
+    def total_halo_bytes(self) -> int:
+        """Bytes exchanged core-to-core, each exchange counted once."""
+        return sum(c.halo_bytes for c in self.cores)
 
     @property
     def performance(self) -> float:
@@ -106,6 +122,28 @@ class RunStats:
         return cycles * (self.latency_us / self.makespan_cycles)
 
 
+def count_barrier_groups(trace: Trace) -> int:
+    """Distinct synchronization points in a trace.
+
+    One barrier emission is a group of BARRIER commands sharing a
+    (layer, tag) label, one per *participating* core.  Dividing the raw
+    event count by the machine's core count -- the previous accounting --
+    undercounts merged multi-tenant programs, whose barriers span only a
+    tenant's core group (tenant prefixes keep the labels distinct across
+    tenants and repeated frames).
+    """
+    events_by_label: Dict[Tuple[str, str], List[int]] = {}
+    for e in trace.events:
+        if e.kind is CommandKind.BARRIER:
+            events_by_label.setdefault((e.layer, e.tag), []).append(e.core)
+    groups = 0
+    for cores in events_by_label.values():
+        # A label normally appears once per participating core; repeated
+        # same-label emissions show up as multiples of the core set.
+        groups += max(1, len(cores) // len(set(cores)))
+    return groups
+
+
 def collect_stats(trace: Trace, npu: NPUConfig) -> RunStats:
     """Aggregate a trace into :class:`RunStats`."""
     makespan = trace.makespan
@@ -114,12 +152,17 @@ def collect_stats(trace: Trace, npu: NPUConfig) -> RunStats:
         events = trace.for_core(core)
         bytes_by_kind: Dict[CommandKind, int] = {}
         transfer = 0
+        halo = 0
         macs = 0
         sync_wait = 0.0
         for e in events:
             if e.kind in _TRANSFER_KINDS:
                 bytes_by_kind[e.kind] = bytes_by_kind.get(e.kind, 0) + e.num_bytes
                 transfer += e.num_bytes
+            elif e.kind in _HALO_KINDS:
+                bytes_by_kind[e.kind] = bytes_by_kind.get(e.kind, 0) + e.num_bytes
+                if e.kind is CommandKind.HALO_RECV:
+                    halo += e.num_bytes
             macs += e.macs
             if e.kind in (CommandKind.BARRIER, CommandKind.HALO_RECV):
                 sync_wait += e.remote_wait
@@ -131,6 +174,7 @@ def collect_stats(trace: Trace, npu: NPUConfig) -> RunStats:
             CoreStats(
                 core=core,
                 transfer_bytes=transfer,
+                halo_bytes=halo,
                 bytes_by_kind=bytes_by_kind,
                 compute_cycles=compute_busy,
                 busy_cycles=busy,
@@ -147,17 +191,12 @@ def collect_stats(trace: Trace, npu: NPUConfig) -> RunStats:
         elif e.kind is CommandKind.HALO_RECV:
             sync_samples.append(e.remote_wait)
 
-    num_barriers = (
-        len(trace.of_kind(CommandKind.BARRIER)) // npu.num_cores
-        if npu.num_cores
-        else 0
-    )
     return RunStats(
         makespan_cycles=makespan,
         latency_us=npu.cycles_to_us(makespan),
         cores=tuple(cores),
         total_macs=sum(c.macs for c in cores),
-        num_barriers=num_barriers,
+        num_barriers=count_barrier_groups(trace),
         num_halo_exchanges=len(trace.of_kind(CommandKind.HALO_RECV)),
         sync_overhead_samples=tuple(sync_samples),
     )

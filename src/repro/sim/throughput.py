@@ -43,6 +43,14 @@ def repeat_program(program: Program, frames: int, label: str = "f") -> Program:
         offset += len(program.commands)
     merged = Program(num_cores=program.num_cores, commands=commands)
     merged.validate()
+    # Offsetting ids frame by frame must preserve deadlock freedom across
+    # the whole concatenation; the structure pass checks the union of
+    # dependency edges and engine queue order.
+    from repro.verify import VerificationError, verify_program
+
+    report = verify_program(merged, model=f"{frames}x{label}", config="repeated")
+    if not report.ok:
+        raise VerificationError(report)
     return merged
 
 

@@ -32,6 +32,7 @@ from repro.verify.verifier import (
     PASS_NAMES,
     VerificationError,
     verify_model,
+    verify_program,
 )
 
 __all__ = [
@@ -55,4 +56,5 @@ __all__ = [
     "merge_reports",
     "peak_spm_per_core",
     "verify_model",
+    "verify_program",
 ]

@@ -56,6 +56,25 @@ class VerificationError(Exception):
         )
 
 
+def verify_program(
+    program,
+    model: str = "program",
+    config: str = "",
+    machine: str = "",
+) -> VerifyReport:
+    """Statically verify a raw :class:`~repro.compiler.program.Program`.
+
+    Programs without compile context (multi-tenant merges, repeated
+    frames, serving waves) cannot run the semantic passes, which need
+    the graph and the compiler's decisions; the structure pass --
+    well-formedness plus the dependency/queue deadlock check -- applies
+    to any command stream and is what this entry point runs.
+    """
+    report = VerifyReport(model=model, config=config, machine=machine)
+    report.passes.append(check_structure(program))
+    return report
+
+
 def verify_model(
     compiled: "CompiledModel",
     passes: Optional[Sequence[str]] = None,

@@ -1,0 +1,107 @@
+"""The request generator: determinism, bounds, mixes, result math."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import Request, RequestResult, generate_requests, percentile
+
+
+class TestGenerator:
+    def test_same_seed_identical_stream(self):
+        a = generate_requests(["m1", "m2"], rps=500, duration_us=50_000, seed=7)
+        b = generate_requests(["m1", "m2"], rps=500, duration_us=50_000, seed=7)
+        assert a == b
+        assert len(a) > 0
+
+    def test_different_seeds_differ(self):
+        a = generate_requests(["m1", "m2"], rps=500, duration_us=50_000, seed=1)
+        b = generate_requests(["m1", "m2"], rps=500, duration_us=50_000, seed=2)
+        assert a != b
+
+    def test_arrivals_sorted_and_bounded(self):
+        reqs = generate_requests(["m"], rps=1000, duration_us=20_000, seed=3)
+        arrivals = [r.arrival_us for r in reqs]
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= t < 20_000 for t in arrivals)
+        assert [r.rid for r in reqs] == list(range(len(reqs)))
+
+    def test_rate_roughly_matches(self):
+        # 2000 rps over 100 ms -> ~200 expected; Poisson sd is ~14.
+        reqs = generate_requests(["m"], rps=2000, duration_us=100_000, seed=0)
+        assert 140 <= len(reqs) <= 260
+
+    def test_max_requests_caps(self):
+        reqs = generate_requests(
+            ["m"], rps=2000, duration_us=100_000, seed=0, max_requests=5
+        )
+        assert len(reqs) == 5
+
+    def test_weighted_mix(self):
+        reqs = generate_requests(
+            [("heavy", 9.0), ("light", 1.0)],
+            rps=2000,
+            duration_us=100_000,
+            seed=0,
+        )
+        heavy = sum(1 for r in reqs if r.model == "heavy")
+        assert heavy > len(reqs) // 2
+
+    def test_slo_of_applied(self):
+        reqs = generate_requests(
+            ["m"], rps=1000, duration_us=10_000, seed=0,
+            slo_of=lambda m: 123.0,
+        )
+        assert reqs and all(r.slo_us == 123.0 for r in reqs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_requests([], rps=100, duration_us=1000)
+        with pytest.raises(ValueError):
+            generate_requests(["m"], rps=0, duration_us=1000)
+        with pytest.raises(ValueError):
+            generate_requests(["m"], rps=100, duration_us=0)
+        with pytest.raises(ValueError):
+            generate_requests([("m", -1.0)], rps=100, duration_us=1000)
+
+
+class TestRequestResult:
+    def test_latency_decomposition(self):
+        r = RequestResult(
+            request=Request(rid=0, model="m", arrival_us=100.0, slo_us=500.0),
+            start_us=150.0,
+            finish_us=550.0,
+            cores=(0, 1),
+            wave=2,
+        )
+        assert r.queue_us == 50.0
+        assert r.exec_us == 400.0
+        assert r.total_us == 450.0
+        assert r.slo_met
+
+    def test_slo_miss_and_no_slo(self):
+        late = RequestResult(
+            request=Request(rid=0, model="m", arrival_us=0.0, slo_us=100.0),
+            start_us=50.0, finish_us=200.0, cores=(0,), wave=0,
+        )
+        assert not late.slo_met
+        unbound = RequestResult(
+            request=Request(rid=1, model="m", arrival_us=0.0, slo_us=0.0),
+            start_us=50.0, finish_us=200.0, cores=(0,), wave=0,
+        )
+        assert unbound.slo_met
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        xs = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(xs, 50) == 20.0
+        assert percentile(xs, 95) == 40.0
+        assert percentile(xs, 0) == 10.0
+        assert percentile(xs, 100) == 40.0
+        assert percentile([5.0], 99) == 5.0
+        assert percentile([], 50) == 0.0
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)

@@ -1,0 +1,138 @@
+"""End-to-end serving runs: determinism, accounting, guard rails."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw import exynos2100_like
+from repro.serve import (
+    LatencyPredictor,
+    SchedulingPolicy,
+    serve,
+    serve_policies,
+)
+
+MIX = ["MobileNetV2", "InceptionV3"]
+KW = dict(rps=2000.0, duration_us=5000.0, seed=0)
+
+
+@pytest.fixture(scope="module")
+def npu():
+    return exynos2100_like()
+
+
+@pytest.fixture(scope="module")
+def predictor(npu):
+    return LatencyPredictor(npu)
+
+
+@pytest.fixture(scope="module")
+def reports(npu, predictor):
+    return {
+        r.policy: r
+        for r in serve_policies(MIX, npu, predictor=predictor, **KW)
+    }
+
+
+class TestDeterminism:
+    def test_same_seed_identical_report(self, npu, predictor, reports):
+        again = serve(MIX, npu, policy="dynamic", predictor=predictor, **KW)
+        assert (
+            again.to_dict(include_requests=True)
+            == reports["dynamic"].to_dict(include_requests=True)
+        )
+
+    def test_workload_identical_across_policies(self, reports):
+        streams = {
+            policy: tuple(
+                (r.request.rid, r.request.model, r.request.arrival_us)
+                for r in rep.results
+            )
+            for policy, rep in reports.items()
+        }
+        assert streams["fifo"] == streams["sjf"] == streams["dynamic"]
+
+
+class TestAccounting:
+    def test_all_requests_served_once(self, reports):
+        for rep in reports.values():
+            assert rep.num_requests == len(rep.results) > 0
+            assert [r.request.rid for r in rep.results] == list(
+                range(rep.num_requests)
+            )
+
+    def test_time_ordering_per_request(self, reports):
+        for rep in reports.values():
+            for r in rep.results:
+                assert r.start_us >= r.request.arrival_us
+                assert r.finish_us > r.start_us
+                assert r.total_us == pytest.approx(r.queue_us + r.exec_us)
+
+    def test_makespan_is_last_finish(self, reports):
+        for rep in reports.values():
+            assert rep.makespan_us == pytest.approx(
+                max(r.finish_us for r in rep.results)
+            )
+
+    def test_utilization_bounded(self, npu, reports):
+        for rep in reports.values():
+            assert len(rep.utilization) == npu.num_cores
+            assert all(0.0 <= u <= 1.0 for u in rep.utilization)
+            assert rep.mean_utilization > 0.1
+
+    def test_dynamic_packs_waves(self, reports):
+        # Under backlog the packer runs several requests per wave.
+        assert reports["dynamic"].num_waves < reports["fifo"].num_waves
+        assert reports["fifo"].num_waves == reports["fifo"].num_requests
+
+    def test_dynamic_beats_fifo_makespan(self, reports):
+        assert reports["dynamic"].makespan_us < reports["fifo"].makespan_us
+
+    def test_slo_fields_populated(self, reports):
+        for rep in reports.values():
+            assert all(r.request.slo_us > 0 for r in rep.results)
+            assert 0.0 <= rep.slo_miss_rate <= 1.0
+
+
+class TestEdgeCases:
+    def test_empty_workload(self, npu, predictor):
+        # A window so short (with capped count) no request arrives.
+        rep = serve(
+            ["MobileNetV2"],
+            npu,
+            policy="fifo",
+            rps=1.0,
+            duration_us=1.0,
+            seed=0,
+            predictor=predictor,
+        )
+        assert rep.num_requests == 0
+        assert rep.makespan_us == 0.0
+        assert rep.throughput_rps == 0.0
+
+    def test_rogue_policy_rejected(self, npu, predictor):
+        class OverlappingPolicy(SchedulingPolicy):
+            name = "rogue"
+
+            def plan(self, queue, npu, predictor):
+                return [
+                    (queue[0], (0, 1)),
+                    (queue[0], (1, 2)),
+                ]
+
+        with pytest.raises(RuntimeError):
+            serve(
+                ["MobileNetV2"],
+                npu,
+                policy=OverlappingPolicy(),
+                rps=2000.0,
+                duration_us=3000.0,
+                seed=0,
+                predictor=predictor,
+            )
+
+    def test_merged_programs_counted(self, reports):
+        # fifo/sjf build one whole-machine program per model; dynamic
+        # additionally builds packed multi-request programs.
+        assert reports["fifo"].verified_programs == len(MIX)
+        assert reports["dynamic"].verified_programs >= len(MIX)

@@ -26,6 +26,13 @@ class TestRepeat:
         merged = repeat_program(model.program, 3)
         assert len(merged) == 3 * len(model.program)
 
+    def test_repeated_program_verifies_clean(self, compiled):
+        from repro.verify import verify_program
+
+        model, _ = compiled
+        merged = repeat_program(model.program, 3)
+        assert verify_program(merged).ok
+
     def test_frames_labelled(self, compiled):
         model, _ = compiled
         merged = repeat_program(model.program, 2)

@@ -101,8 +101,32 @@ class TestStats:
         npu = tiny_test_machine(2)
         stats = collect_stats(self.make_trace(), npu)
         assert stats.cores[0].transfer_bytes == 170
-        assert stats.cores[1].transfer_bytes == 16
+        # halo traffic is core-to-core, not DRAM transfer (Table 4).
+        assert stats.cores[1].transfer_bytes == 0
+        assert stats.cores[1].halo_bytes == 16
         assert stats.cores[0].bytes_by_kind[CommandKind.LOAD_INPUT] == 100
+        assert stats.total_transfer_bytes == 170
+        assert stats.total_halo_bytes == 16
+
+    def test_halo_counted_once_and_not_as_transfer(self):
+        """One exchange = SEND + RECV of the same payload: the DRAM
+        transfer total must ignore both, and the halo total must count
+        the payload once, not twice."""
+        npu = tiny_test_machine(2)
+        trace = Trace(
+            [
+                event(0, 0, CommandKind.LOAD_INPUT, 0, 10, nbytes=100),
+                event(1, 0, CommandKind.HALO_SEND, 10, 12, nbytes=64),
+                event(2, 1, CommandKind.HALO_RECV, 10, 14, nbytes=64),
+                event(3, 1, CommandKind.STORE_OUTPUT, 14, 20, nbytes=40),
+            ]
+        )
+        stats = collect_stats(trace, npu)
+        assert stats.total_transfer_bytes == 140
+        assert stats.total_halo_bytes == 64
+        # the send side stays visible in the per-kind breakdown.
+        assert stats.cores[0].bytes_by_kind[CommandKind.HALO_SEND] == 64
+        assert stats.cores[1].bytes_by_kind[CommandKind.HALO_RECV] == 64
 
     def test_latency_conversion(self):
         npu = tiny_test_machine(2)  # 1 GHz
@@ -125,6 +149,37 @@ class TestStats:
         assert stats.num_barriers == 1
         assert stats.num_halo_exchanges == 1
 
+    def test_barrier_groups_for_core_subsets(self):
+        """Merged multi-tenant programs have barriers spanning only a
+        tenant's core group; each group must count as one barrier even
+        on a machine with more cores."""
+        npu = tiny_test_machine(4)
+        trace = Trace(
+            [
+                # tenant a: one barrier across cores 0-1.
+                event(0, 0, CommandKind.BARRIER, 10, 15, layer="a/c2"),
+                event(1, 1, CommandKind.BARRIER, 10, 15, layer="a/c2"),
+                # tenant b: one barrier on its single core 3.
+                event(2, 3, CommandKind.BARRIER, 20, 25, layer="b/c1"),
+            ]
+        )
+        stats = collect_stats(trace, npu)
+        assert stats.num_barriers == 2
+
+    def test_repeated_same_label_barriers(self):
+        """Two emissions with an identical label still count twice."""
+        npu = tiny_test_machine(2)
+        trace = Trace(
+            [
+                event(0, 0, CommandKind.BARRIER, 0, 5, layer="l"),
+                event(1, 1, CommandKind.BARRIER, 0, 5, layer="l"),
+                event(2, 0, CommandKind.BARRIER, 10, 15, layer="l"),
+                event(3, 1, CommandKind.BARRIER, 10, 15, layer="l"),
+            ]
+        )
+        stats = collect_stats(trace, npu)
+        assert stats.num_barriers == 2
+
     def test_performance_inverse_latency(self):
         npu = tiny_test_machine(2)
         stats = collect_stats(self.make_trace(), npu)
@@ -138,7 +193,8 @@ class TestStats:
     def test_mean_std_helpers(self):
         npu = tiny_test_machine(2)
         stats = collect_stats(self.make_trace(), npu)
-        assert stats.transfer_mean_kb == pytest.approx((170 + 16) / 2 / 1024)
+        # DRAM transfer only: the 16-byte halo receive is not included.
+        assert stats.transfer_mean_kb == pytest.approx((170 + 0) / 2 / 1024)
         assert stats.idle_mean_us >= 0
         assert stats.idle_std_us >= 0
 
@@ -147,3 +203,30 @@ class TestStats:
         stats = collect_stats(Trace([]), npu)
         assert stats.latency_us == 0.0
         assert stats.performance == 0.0
+
+
+class TestDramBytesExcludeHalo:
+    """Regression: enabling halo exchange must not inflate the reported
+    global<->local DRAM transfer (the Table 4 metric); halo traffic is
+    core-to-core and reported separately, each exchange once."""
+
+    def test_halo_heavy_config(self):
+        from repro.compiler import CompileOptions, compile_model
+        from repro.sim import simulate
+        from tests.conftest import make_chain_graph
+
+        npu = tiny_test_machine(2)
+        compiled = compile_model(make_chain_graph(), npu, CompileOptions.halo())
+        program = compiled.program
+        assert program.count(CommandKind.HALO_RECV) > 0  # halo-heavy indeed
+
+        stats = collect_stats(simulate(program, npu).trace, npu)
+        dram_kinds = (
+            CommandKind.LOAD_INPUT,
+            CommandKind.LOAD_WEIGHT,
+            CommandKind.STORE_OUTPUT,
+        )
+        assert stats.total_transfer_bytes == program.total_bytes(dram_kinds)
+        assert stats.total_halo_bytes == program.total_bytes(
+            (CommandKind.HALO_RECV,)
+        )

@@ -127,6 +127,44 @@ class TestLint:
         assert "RPR310" in out and "failed verification" in out
 
 
+class TestServe:
+    def test_compare_all_policies(self, capsys):
+        assert (
+            main(
+                [
+                    "serve", "MobileNetV2", "InceptionV3",
+                    "--duration-short", "--rps", "3000",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        for policy in ("fifo", "sjf", "dynamic"):
+            assert policy in out
+        assert "verifier-clean" in out
+
+    def test_single_policy_json(self, capsys):
+        assert (
+            main(
+                [
+                    "serve", "MobileNetV2",
+                    "--policy", "dynamic", "--duration-short",
+                    "--rps", "3000", "--json",
+                ]
+            )
+            == 0
+        )
+        data = json.loads(capsys.readouterr().out)
+        assert len(data) == 1
+        assert data[0]["policy"] == "dynamic"
+        assert data[0]["num_requests"] > 0
+        assert data[0]["p99_us"] >= data[0]["p50_us"] > 0
+
+    def test_unknown_model(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "ResNet", "--duration-short"])
+
+
 class TestSweepAndTables:
     def test_sweep(self, capsys):
         assert main(["sweep", "stem"]) == 0

@@ -44,6 +44,8 @@ class TestSubpackageExports:
             "repro.runtime",
             "repro.models",
             "repro.analysis",
+            "repro.serve",
+            "repro.verify",
         ],
     )
     def test_all_lists_are_valid(self, module):
