@@ -44,6 +44,10 @@ from repro.analysis.profiles import (
     region_summary,
     table4_profiles,
 )
+from repro.analysis.faults import (
+    degradation_summary,
+    render_degradation_table,
+)
 from repro.analysis.serving import (
     render_serving_table,
     serving_summary,
@@ -63,6 +67,7 @@ __all__ = [
     "SpmViolation",
     "audit_spm",
     "peak_spm_per_core",
+    "degradation_summary",
     "exposed_waits",
     "format_kb",
     "format_speedup",
@@ -71,6 +76,7 @@ __all__ = [
     "paper_configurations",
     "partitioning_profile",
     "region_summary",
+    "render_degradation_table",
     "render_gantt",
     "render_layer_report",
     "profile_layers",

@@ -1,0 +1,82 @@
+"""Rendering for fault-injection and degraded-mode serving results.
+
+The serving renderer (:mod:`repro.analysis.serving`) compares policies
+on a clean machine; this module adds the degradation view: what one
+fault plan did to the workload (retries, sheds, throttling, dead
+cores), and how a faulted run compares to its clean twin.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.tables import format_table
+from repro.serve.metrics import ServeReport
+
+
+def degradation_rows(reports: Sequence[ServeReport]) -> List[List[str]]:
+    """One row per degraded report (clean reports show dashes)."""
+    rows: List[List[str]] = []
+    for r in reports:
+        d = r.degraded
+        if d is None:
+            rows.append([r.policy, "-", "-", "-", "-", "-", "-", "-"])
+            continue
+        rows.append(
+            [
+                r.policy,
+                str(len(r.results)),
+                str(d.num_shed),
+                f"{d.shed_rate:.1%}",
+                str(d.num_retries),
+                str(d.num_failed_waves),
+                ",".join(map(str, d.dead_cores)) if d.dead_cores else "-",
+                f"{d.throttled_fraction:.1%}",
+            ]
+        )
+    return rows
+
+
+def render_degradation_table(reports: Sequence[ServeReport]) -> str:
+    """A per-policy degradation table for one faulted workload."""
+    if not reports:
+        raise ValueError("no serving reports to render")
+    degraded = next((r.degraded for r in reports if r.degraded is not None), None)
+    title = "degradation: " + (degraded.faults if degraded else "none")
+    return format_table(
+        [
+            "Policy", "Served", "Shed", "Shed rate", "Retries",
+            "Failed waves", "Dead cores", "Throttled",
+        ],
+        degradation_rows(reports),
+        title=title,
+    )
+
+
+def degradation_summary(
+    faulted: Sequence[ServeReport],
+    clean: Optional[Sequence[ServeReport]] = None,
+) -> Dict:
+    """JSON-ready fault summary, optionally against a clean baseline.
+
+    Per policy: the degradation section plus the headline latency/SLO
+    deltas (``p99_vs_clean`` is faulted p99 / clean p99).
+    """
+    out: Dict = {"policies": {}}
+    clean_by = {r.policy: r for r in clean} if clean else {}
+    for r in faulted:
+        entry: Dict = {
+            "p99_us": r.p99_us,
+            "slo_miss_rate": r.slo_miss_rate,
+            "served": len(r.results),
+        }
+        if r.degraded is not None:
+            entry["degraded"] = r.degraded.to_dict()
+        base = clean_by.get(r.policy)
+        if base is not None:
+            entry["clean_p99_us"] = base.p99_us
+            entry["clean_slo_miss_rate"] = base.slo_miss_rate
+            if base.p99_us > 0:
+                entry["p99_vs_clean"] = r.p99_us / base.p99_us
+        out["policies"][r.policy] = entry
+    return out

@@ -35,7 +35,7 @@ from repro.compiler import (
     compile_model,
     profile_guided_rebalance,
 )
-from repro.hw import exynos2100_like, homogeneous
+from repro.hw import resolve_machine
 from repro.models import ZOO, get_model, inception_v3_stem, model_names
 from repro.partition import PartitionPolicy
 from repro.sim import collect_stats, estimate_energy, simulate
@@ -51,25 +51,13 @@ CONFIGS = {
 
 
 def _machine(spec: str):
-    if spec == "exynos2100":
-        return exynos2100_like()
-    if spec.startswith("hom"):
-        try:
-            return homogeneous(int(spec[3:]))
-        except ValueError:
-            pass
-    if spec.endswith(".json"):
-        import pathlib
-
-        from repro.hw import load_machine
-
-        if not pathlib.Path(spec).exists():
-            raise SystemExit(f"machine file {spec!r} not found")
-        return load_machine(spec)
-    raise SystemExit(
-        f"unknown machine {spec!r}; use 'exynos2100', 'homN' (e.g. hom4), "
-        f"or a machine JSON file"
-    )
+    # Every subcommand funnels --machine through the one resolver in
+    # repro.hw, so preset names, homN/tinyN families, and JSON files
+    # behave identically everywhere (and unknown names list the presets).
+    try:
+        return resolve_machine(spec)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def _graph(name: str):
@@ -107,6 +95,23 @@ def cmd_models(args: argparse.Namespace) -> int:
 
 
 def cmd_describe(args: argparse.Namespace) -> int:
+    if args.model is None and args.machine is None:
+        raise SystemExit("describe needs a MODEL, --machine, or both")
+    if args.machine is not None:
+        npu = _machine(args.machine)
+        print(f"{npu.name}: {npu.num_cores} cores @ {npu.frequency_ghz:.2f} GHz")
+        print(f"  bus:   {npu.bus_bytes_per_cycle:.1f} B/cycle shared")
+        for i in range(npu.num_cores):
+            core = npu.core(i)
+            print(
+                f"  core {i} ({core.name}): {core.macs_per_cycle} MAC/cycle, "
+                f"{core.spm_bytes // 1024} KB SPM, "
+                f"{core.dma_bytes_per_cycle:.1f} B/cycle DMA, "
+                f"DVFS steps {list(core.dvfs_steps)}"
+            )
+        if args.model is None:
+            return 0
+        print()
     graph = _graph(args.model)
     print(f"{graph}")
     print(f"  MACs:        {graph.total_macs():,}")
@@ -330,20 +335,36 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import POLICY_NAMES, serve_policies
 
     npu = _machine(args.machine)
-    for name in args.models:
+    models = args.models or ["MobileNetV2", "InceptionV3"]
+    for name in models:
         _graph(name)  # validate names before generating the workload
     duration_ms = 2.0 if args.duration_short else args.duration
+    duration_us = duration_ms * 1000.0
+    faults = None
+    if args.faults:
+        from repro.faults import parse_fault_spec
+
+        try:
+            faults = parse_fault_spec(
+                args.faults, duration_us, npu.num_cores, seed=args.seed
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
     policies = list(POLICY_NAMES) if args.policy == "all" else [args.policy]
     reports = serve_policies(
-        args.models,
+        models,
         npu,
         policies=policies,
         rps=args.rps,
-        duration_us=duration_ms * 1000.0,
+        duration_us=duration_us,
         seed=args.seed,
         options=CONFIGS[args.config](),
         slo_scale=args.slo_scale,
         max_requests=args.requests,
+        faults=faults,
+        retry_limit=args.retry_limit,
+        backoff_us=args.backoff_us,
+        shed_slo=args.shed,
     )
 
     if args.json:
@@ -352,6 +373,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.analysis import render_serving_table
 
     print(render_serving_table(reports))
+    if any(r.degraded is not None for r in reports):
+        from repro.analysis import render_degradation_table
+
+        print()
+        print(render_degradation_table(reports))
     print(
         f"\n{sum(r.verified_programs for r in reports)} merged program(s) "
         f"built, all verifier-clean"
@@ -398,8 +424,17 @@ def build_parser() -> argparse.ArgumentParser:
         func=cmd_models
     )
 
-    p = sub.add_parser("describe", help="graph statistics of one model")
-    p.add_argument("model", help=f"one of {model_names()} or 'stem'")
+    p = sub.add_parser(
+        "describe", help="graph statistics of a model and/or a machine"
+    )
+    p.add_argument(
+        "model", nargs="?", default=None,
+        help=f"one of {model_names()} or 'stem'",
+    )
+    p.add_argument(
+        "--machine", default=None, metavar="SPEC",
+        help="also (or only) describe this machine preset / JSON file",
+    )
     p.add_argument("--layers", action="store_true", help="print every layer")
     p.set_defaults(func=cmd_describe)
 
@@ -487,8 +522,9 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="request-level serving simulation (queueing + SLOs)"
     )
     p.add_argument(
-        "models", nargs="+", metavar="MODEL",
-        help=f"workload mix, one or more of {model_names()} or 'stem'",
+        "models", nargs="*", metavar="MODEL",
+        help=f"workload mix, one or more of {model_names()} or 'stem' "
+        "(default: MobileNetV2 InceptionV3)",
     )
     p.add_argument("--machine", default="exynos2100")
     p.add_argument("--seed", type=int, default=0)
@@ -520,6 +556,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--slo-scale", type=float, default=5.0,
         help="per-request SLO as a multiple of the model's isolated "
         "latency (0 disables SLOs)",
+    )
+    p.add_argument(
+        "--faults", metavar="SPEC", default="",
+        help="inject faults, e.g. 'core_offline@50%%', "
+        "'stall:bus@10%%+500us', 'throttle' (comma-separate to combine)",
+    )
+    p.add_argument(
+        "--retry-limit", type=int, default=3, metavar="N",
+        help="max executions per request before it is shed (default 3)",
+    )
+    p.add_argument(
+        "--backoff-us", type=float, default=200.0, metavar="US",
+        help="base of the exponential retry backoff (default 200us)",
+    )
+    p.add_argument(
+        "--shed", action="store_true",
+        help="shed requests whose queueing delay already exceeds the SLO",
     )
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=cmd_serve)

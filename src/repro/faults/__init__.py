@@ -1,0 +1,44 @@
+"""Fault injection and degraded-mode execution for the NPU simulator.
+
+The clean simulator assumes three cores that never slow down or drop
+out; real mobile SoCs share a thermal and power envelope with the rest
+of the chip, so the NPU throttles, stalls, and occasionally loses a
+core to driver resets.  This package injects exactly those three
+regimes into the event-driven simulator, deterministically:
+
+* :class:`ThermalThrottle` -- per-core DVFS frequency stepping driven by
+  a heat accumulator over busy cycles;
+* :class:`TransientStall` -- seeded stall windows on a core or the bus;
+* :class:`CoreOffline` -- a core dies at time t, abandoning every
+  in-flight command stream that depends on it.
+
+A :class:`FaultPlan` bundles fault events and rides into
+:func:`repro.sim.simulator.simulate` via its ``faults`` argument; an
+empty plan is a guaranteed no-op (the clean scheduler runs untouched,
+bit-identically).  :class:`FaultInjector` carries thermal and liveness
+state across the waves of a serving run (:mod:`repro.serve.degraded`).
+"""
+
+from repro.faults.plan import (
+    CoreOffline,
+    FaultEvent,
+    FaultPlan,
+    FaultStats,
+    ThermalThrottle,
+    TransientStall,
+    random_stalls,
+)
+from repro.faults.session import FaultInjector
+from repro.faults.spec import parse_fault_spec
+
+__all__ = [
+    "CoreOffline",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "ThermalThrottle",
+    "TransientStall",
+    "parse_fault_spec",
+    "random_stalls",
+]

@@ -1,0 +1,73 @@
+"""Cross-wave fault state for serving runs.
+
+The serving loop gang-schedules one merged program (wave) at a time,
+but faults live on the *serving* clock: a core that dies in wave 3 is
+still dead in wave 7, and heat accumulated through a burst of waves is
+what eventually throttles the core.  :class:`FaultInjector` owns that
+continuity: it places each wave on the serving clock (the engine shifts
+fault-event times into the wave's local frame), carries the per-core
+heat accumulators across waves (cooling them through idle gaps), and
+answers which cores are still alive at any instant.
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple
+
+from repro.compiler.program import Program
+from repro.faults.engine import simulate_faulted
+from repro.faults.plan import FaultPlan, FaultStats
+from repro.hw.config import NPUConfig
+from repro.sim.simulator import SimResult
+
+
+class FaultInjector:
+    """Applies one :class:`FaultPlan` to a sequence of serving waves."""
+
+    def __init__(self, npu: NPUConfig, plan: FaultPlan) -> None:
+        self.npu = npu
+        self.plan = plan
+        self.heat = [0.0] * npu.num_cores
+        self._heat_at_us = 0.0
+
+    def alive_cores(self, t_us: float) -> Tuple[int, ...]:
+        """Cores not (yet) offline at serving time ``t_us``."""
+        dead = set(self.plan.dead_cores_at(t_us))
+        return tuple(c for c in range(self.npu.num_cores) if c not in dead)
+
+    def _cool_to(self, t_us: float) -> None:
+        dt = self.npu.us_to_cycles(t_us - self._heat_at_us)
+        if dt > 0:
+            for core in range(self.npu.num_cores):
+                h = self.heat[core] - self.npu.core(core).cool_per_cycle * dt
+                self.heat[core] = h if h > 0 else 0.0
+            self._heat_at_us = t_us
+
+    def run_wave(self, program: Program, seed: int, start_us: float) -> SimResult:
+        """Simulate one wave starting at ``start_us`` on the serving clock."""
+        self._cool_to(start_us)
+        result = simulate_faulted(
+            program,
+            self.npu,
+            seed=seed,
+            plan=self.plan,
+            initial_heat=tuple(self.heat),
+            time_offset_us=start_us,
+        )
+        assert result.faults is not None
+        self.heat = list(result.faults.heat)
+        self._heat_at_us = start_us + result.latency_us
+        return result
+
+
+def abandoned_tenants(program: Program, stats: FaultStats) -> Set[str]:
+    """Tenant labels owning at least one abandoned command.
+
+    Tenants are identified by the ``name/`` layer prefix that
+    :func:`repro.sim.multitenant.merge_programs` applies.
+    """
+    tenants: Set[str] = set()
+    for cid in stats.abandoned_cids:
+        layer = program.commands[cid].layer
+        tenants.add(layer.split("/", 1)[0] if "/" in layer else layer)
+    return tenants

@@ -1,0 +1,110 @@
+"""Parse ``--faults`` command-line specs into a :class:`FaultPlan`.
+
+Grammar (comma-separated fault clauses):
+
+* ``core_offline@50%``        -- core 0 dies at 50% of the duration
+* ``core_offline:2@1200us``   -- core 2 dies at 1200 us
+* ``stall@10%+500us``         -- core 0 stalls from 10% for 500 us
+* ``stall:1@100us+5%``        -- core 1 stalls; ``stall:bus@...`` stalls the bus
+* ``throttle``                -- thermal DVFS stepping on every core
+* ``throttle:0+2``            -- only on cores 0 and 2
+
+Times are either absolute microseconds (``1200us``, ``1.2ms``) or a
+percentage of the serving duration (``50%``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.faults.plan import (
+    CoreOffline,
+    FaultEvent,
+    FaultPlan,
+    ThermalThrottle,
+    TransientStall,
+)
+
+
+def _parse_time(text: str, duration_us: float, what: str) -> float:
+    text = text.strip()
+    try:
+        if text.endswith("%"):
+            return float(text[:-1]) / 100.0 * duration_us
+        if text.endswith("us"):
+            return float(text[:-2])
+        if text.endswith("ms"):
+            return float(text[:-2]) * 1000.0
+        return float(text)
+    except ValueError:
+        raise ValueError(
+            f"bad {what} {text!r}: expected e.g. '50%', '1200us', or '1.2ms'"
+        ) from None
+
+
+def _parse_core(text: str, num_cores: int, what: str) -> int:
+    try:
+        core = int(text)
+    except ValueError:
+        raise ValueError(f"bad {what} core {text!r}") from None
+    if not 0 <= core < num_cores:
+        raise ValueError(f"{what} core {core} out of range (machine has {num_cores})")
+    return core
+
+
+def parse_fault_spec(
+    spec: str,
+    duration_us: float,
+    num_cores: int,
+    seed: int = 0,
+) -> FaultPlan:
+    """Parse one ``--faults`` string against a workload duration."""
+    events: List[FaultEvent] = []
+    for clause in spec.split(","):
+        clause = clause.strip()
+        if not clause:
+            continue
+        head, _, when = clause.partition("@")
+        kind, _, arg = head.partition(":")
+        kind = kind.strip()
+        if kind == "core_offline":
+            core = _parse_core(arg, num_cores, "core_offline") if arg else 0
+            if not when:
+                raise ValueError(
+                    f"{clause!r}: core_offline needs '@<time>' (e.g. '@50%')"
+                )
+            events.append(
+                CoreOffline(core=core, at_us=_parse_time(when, duration_us, "time"))
+            )
+        elif kind == "stall":
+            target: Optional[int]
+            if not arg or arg == "bus":
+                target = None if arg == "bus" else 0
+            else:
+                target = _parse_core(arg, num_cores, "stall")
+            start_text, _, dur_text = when.partition("+")
+            if not start_text or not dur_text:
+                raise ValueError(
+                    f"{clause!r}: stall needs '@<start>+<duration>' "
+                    f"(e.g. '@10%+500us')"
+                )
+            events.append(
+                TransientStall(
+                    start_us=_parse_time(start_text, duration_us, "stall start"),
+                    duration_us=_parse_time(dur_text, duration_us, "stall duration"),
+                    core=target,
+                )
+            )
+        elif kind == "throttle":
+            cores: Tuple[int, ...] = ()
+            if arg:
+                cores = tuple(
+                    _parse_core(c, num_cores, "throttle") for c in arg.split("+")
+                )
+            events.append(ThermalThrottle(cores=cores))
+        else:
+            raise ValueError(
+                f"unknown fault kind {kind!r} in {clause!r}; "
+                f"one of core_offline, stall, throttle"
+            )
+    return FaultPlan(events=tuple(events), seed=seed)

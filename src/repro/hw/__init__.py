@@ -1,7 +1,13 @@
 """Machine descriptions for multicore NPUs."""
 
 from repro.hw.config import CoreConfig, NPUConfig
-from repro.hw.presets import exynos2100_like, homogeneous, tiny_test_machine
+from repro.hw.presets import (
+    MACHINE_PRESETS,
+    exynos2100_like,
+    homogeneous,
+    resolve_machine,
+    tiny_test_machine,
+)
 from repro.hw.serialize import (
     load_machine,
     machine_from_dict,
@@ -11,8 +17,10 @@ from repro.hw.serialize import (
 
 __all__ = [
     "CoreConfig",
+    "MACHINE_PRESETS",
     "NPUConfig",
     "exynos2100_like",
+    "resolve_machine",
     "homogeneous",
     "load_machine",
     "machine_from_dict",

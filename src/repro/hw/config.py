@@ -34,6 +34,15 @@ class CoreConfig:
         spatial_alignment: row-granularity constraint for spatial slices.
         compute_efficiency: sustained fraction of peak MACs actually
             achieved on convolutions (utilization of the MAC array).
+        dvfs_steps: the discrete frequency multipliers the core can run
+            at under thermal pressure, descending from 1.0 (full speed).
+            Used by the fault-injection layer (:mod:`repro.faults`);
+            fault-free simulation always runs at ``dvfs_steps[0]``.
+        heat_per_busy_cycle: heat units accumulated per busy compute
+            cycle (arbitrary units; only ratios to the threshold matter).
+        cool_per_cycle: heat units dissipated per wall-clock cycle.
+        throttle_threshold: heat level at which the core steps down to
+            the next DVFS step; each further multiple steps down again.
     """
 
     name: str
@@ -43,6 +52,10 @@ class CoreConfig:
     channel_alignment: int = 16
     spatial_alignment: int = 2
     compute_efficiency: float = 0.75
+    dvfs_steps: Tuple[float, ...] = (1.0, 0.8, 0.6)
+    heat_per_busy_cycle: float = 1.0
+    cool_per_cycle: float = 0.4
+    throttle_threshold: float = 150_000.0
 
     def __post_init__(self) -> None:
         if self.macs_per_cycle <= 0:
@@ -55,10 +68,26 @@ class CoreConfig:
             raise ValueError("alignments must be positive")
         if not 0 < self.compute_efficiency <= 1:
             raise ValueError("compute_efficiency must be in (0, 1]")
+        if not self.dvfs_steps or self.dvfs_steps[0] != 1.0:
+            raise ValueError("dvfs_steps must start at 1.0 (full speed)")
+        if any(not 0 < s <= 1 for s in self.dvfs_steps):
+            raise ValueError("dvfs_steps must lie in (0, 1]")
+        if list(self.dvfs_steps) != sorted(self.dvfs_steps, reverse=True):
+            raise ValueError("dvfs_steps must be non-increasing")
+        if self.heat_per_busy_cycle < 0 or self.cool_per_cycle < 0:
+            raise ValueError("thermal rates must be non-negative")
+        if self.throttle_threshold <= 0:
+            raise ValueError("throttle_threshold must be positive")
 
     @property
     def effective_macs_per_cycle(self) -> float:
         return self.macs_per_cycle * self.compute_efficiency
+
+    def dvfs_level_for_heat(self, heat: float) -> int:
+        """The DVFS step index a core at ``heat`` units runs at."""
+        if heat <= 0:
+            return 0
+        return min(len(self.dvfs_steps) - 1, int(heat / self.throttle_threshold))
 
 
 @dataclasses.dataclass(frozen=True)

@@ -94,6 +94,45 @@ def homogeneous(
     )
 
 
+#: named presets resolvable by :func:`resolve_machine`; the ``homN`` /
+#: ``tinyN`` families are matched by prefix with N the core count.
+MACHINE_PRESETS = ("exynos2100", "homN (e.g. hom4)", "tinyN (e.g. tiny2)")
+
+
+def resolve_machine(spec: str) -> NPUConfig:
+    """Resolve a machine spec string to an :class:`NPUConfig`.
+
+    Accepts ``exynos2100``, ``homN`` (N-core symmetric machine),
+    ``tinyN`` (N-core unit-test machine), or a path to a machine JSON
+    file written by :func:`repro.hw.serialize.save_machine`.  Every CLI
+    subcommand resolves ``--machine`` through this one helper; unknown
+    names raise :class:`ValueError` naming the known presets instead of
+    silently falling back to a default.
+    """
+    if spec == "exynos2100":
+        return exynos2100_like()
+    for prefix, factory in (("hom", homogeneous), ("tiny", tiny_test_machine)):
+        if spec.startswith(prefix) and spec != prefix:
+            try:
+                return factory(int(spec[len(prefix):]))
+            except ValueError as exc:
+                # Non-integer suffix ("homx") or a bad core count
+                # ("hom0"): both are errors, never a silent default.
+                raise ValueError(f"bad machine spec {spec!r}: {exc}") from None
+    if spec.endswith(".json"):
+        import pathlib
+
+        from repro.hw.serialize import load_machine
+
+        if not pathlib.Path(spec).exists():
+            raise ValueError(f"machine file {spec!r} not found")
+        return load_machine(spec)
+    raise ValueError(
+        f"unknown machine {spec!r}; known presets: "
+        f"{', '.join(MACHINE_PRESETS)}, or a machine JSON file"
+    )
+
+
 def tiny_test_machine(num_cores: int = 2) -> NPUConfig:
     """A small, fast machine description for unit tests."""
     cores = tuple(

@@ -39,6 +39,10 @@ def machine_to_dict(npu: NPUConfig) -> Dict:
                 "channel_alignment": c.channel_alignment,
                 "spatial_alignment": c.spatial_alignment,
                 "compute_efficiency": c.compute_efficiency,
+                "dvfs_steps": list(c.dvfs_steps),
+                "heat_per_busy_cycle": c.heat_per_busy_cycle,
+                "cool_per_cycle": c.cool_per_cycle,
+                "throttle_threshold": c.throttle_threshold,
             }
             for c in npu.cores
         ],
@@ -59,6 +63,12 @@ def machine_from_dict(data: Dict) -> NPUConfig:
             channel_alignment=int(c.get("channel_alignment", 16)),
             spatial_alignment=int(c.get("spatial_alignment", 2)),
             compute_efficiency=float(c.get("compute_efficiency", 0.75)),
+            dvfs_steps=tuple(
+                float(s) for s in c.get("dvfs_steps", (1.0, 0.8, 0.6))
+            ),
+            heat_per_busy_cycle=float(c.get("heat_per_busy_cycle", 1.0)),
+            cool_per_cycle=float(c.get("cool_per_cycle", 0.4)),
+            throttle_threshold=float(c.get("throttle_threshold", 150_000.0)),
         )
         for c in data["cores"]
     )

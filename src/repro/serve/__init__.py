@@ -6,7 +6,14 @@ must decide which ones run when, on which cores.  See
 :mod:`repro.serve.server` for the execution model.
 """
 
-from repro.serve.metrics import ServeReport, build_report, percentile
+from repro.serve.degraded import serve_degraded
+from repro.serve.metrics import (
+    DegradedStats,
+    ServeReport,
+    ShedRecord,
+    build_report,
+    percentile,
+)
 from repro.serve.policies import (
     Assignment,
     DynamicPolicy,
@@ -27,6 +34,7 @@ from repro.serve.server import serve, serve_policies
 
 __all__ = [
     "Assignment",
+    "DegradedStats",
     "DynamicPolicy",
     "FifoPolicy",
     "LatencyPredictor",
@@ -36,6 +44,7 @@ __all__ = [
     "RequestResult",
     "SchedulingPolicy",
     "ServeReport",
+    "ShedRecord",
     "SjfPolicy",
     "build_report",
     "generate_requests",
@@ -43,5 +52,6 @@ __all__ = [
     "percentile",
     "resolve_graph",
     "serve",
+    "serve_degraded",
     "serve_policies",
 ]

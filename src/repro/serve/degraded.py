@@ -1,0 +1,245 @@
+"""Degraded-mode serving: the loop that reacts to injected faults.
+
+This is the serving counterpart of :mod:`repro.faults.engine`.  The
+clean loop in :mod:`repro.serve.server` assumes every wave completes;
+under a non-empty :class:`~repro.faults.plan.FaultPlan` that assumption
+breaks in three ways, each with a reaction implemented here:
+
+* **core-offline** -- a wave can *fail*: commands on the dead core's
+  groups are abandoned and their requests did not actually finish.  The
+  server retries them with exponential backoff, and every later wave is
+  planned over the surviving core set only.  The recompile onto the
+  survivors is free of new machinery: the policy just receives a
+  smaller ``cores`` tuple and the fingerprint-keyed program cache --
+  which already keys by core group -- absorbs the new compilations.
+* **thermal throttling / stalls** -- waves complete but run long.  The
+  :class:`~repro.faults.session.FaultInjector` carries heat across
+  waves on the serving clock so a sustained burst throttles exactly as
+  it would on hardware.
+* **hopeless requests** -- with ``shed_slo`` enabled, a request whose
+  queueing delay alone already exceeds its SLO is shed at admission
+  instead of wasting machine time; requests that exhaust the retry
+  budget (or outlive every core) are always shed explicitly.  Nothing
+  is ever dropped silently: every generated request ends the run either
+  served (a :class:`~repro.serve.request.RequestResult`) or shed (a
+  :class:`~repro.serve.metrics.ShedRecord` with a reason).
+
+Determinism: the arrival stream, the fault plan, the policies, and the
+per-wave seeds are all functions of the inputs, so the same
+``(workload, plan, seed)`` produces a byte-identical degraded report.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.compiler.cache import ProgramCache
+from repro.compiler.options import CompileOptions
+from repro.faults.plan import FaultPlan
+from repro.faults.session import FaultInjector, abandoned_tenants
+from repro.hw.config import NPUConfig
+from repro.serve.metrics import (
+    DegradedStats,
+    ServeReport,
+    ShedRecord,
+    build_report,
+    results_sorted,
+)
+from repro.serve.policies import SchedulingPolicy, get_policy
+from repro.serve.predictor import LatencyPredictor
+from repro.serve.request import MixEntry, Request, RequestResult, generate_requests
+from repro.sim.multitenant import tenant_spans
+
+_EPS = 1e-9
+
+
+def serve_degraded(
+    models: Sequence[MixEntry],
+    npu: NPUConfig,
+    faults: FaultPlan,
+    policy: Union[str, SchedulingPolicy] = "fifo",
+    rps: float = 800.0,
+    duration_us: float = 20_000.0,
+    seed: int = 0,
+    options: Optional[CompileOptions] = None,
+    slo_scale: float = 5.0,
+    max_requests: int = 0,
+    predictor: Optional[LatencyPredictor] = None,
+    cache: Optional[ProgramCache] = None,
+    retry_limit: int = 3,
+    backoff_us: float = 200.0,
+    shed_slo: bool = False,
+) -> ServeReport:
+    """Serve one workload under one policy while injecting ``faults``.
+
+    ``retry_limit`` caps executions per request (a request is shed with
+    reason ``"retries"`` after failing that many times); ``backoff_us``
+    is the base of the exponential re-admission delay after a failed
+    attempt.  ``shed_slo`` enables SLO-aware load shedding.  The report
+    carries a :class:`~repro.serve.metrics.DegradedStats` section.
+    """
+    from repro.serve.server import _check_assignments, _slot_name
+
+    if faults.is_empty:
+        raise ValueError("serve_degraded needs a non-empty fault plan")
+    if retry_limit < 1:
+        raise ValueError("retry_limit must be >= 1")
+    if backoff_us < 0:
+        raise ValueError("backoff_us must be >= 0")
+    if isinstance(policy, str):
+        policy = get_policy(policy)
+    if predictor is None:
+        predictor = LatencyPredictor(npu, options, cache=cache, seed=seed)
+
+    slo_of = None
+    if slo_scale > 0:
+        slo_of = lambda m: slo_scale * predictor.predicted_latency_us(m)  # noqa: E731
+    requests = generate_requests(
+        models,
+        rps=rps,
+        duration_us=duration_us,
+        seed=seed,
+        max_requests=max_requests,
+        slo_of=slo_of,
+    )
+
+    injector = FaultInjector(npu, faults)
+    pending = deque(requests)
+    queue: List[Request] = []
+    results: List[RequestResult] = []
+    shed: List[ShedRecord] = []
+    attempts: Dict[int, int] = {}
+    #: earliest serving time a failed request may be re-admitted.
+    eligible_us: Dict[int, float] = {}
+    busy_cycles = [0.0] * npu.num_cores
+    patterns_used: set = set()
+    clock = 0.0
+    makespan_us = 0.0
+    wave_index = 0
+    num_retries = 0
+    num_failed_waves = 0
+    stall_cycles = 0.0
+    throttled_busy = 0.0
+    total_busy = 0.0
+
+    while pending or queue:
+        # Advance the clock to the next actionable instant: an arrival,
+        # or a retried request leaving its backoff window.
+        horizons = [eligible_us.get(r.rid, 0.0) for r in queue]
+        if pending:
+            horizons.append(pending[0].arrival_us)
+        clock = max(clock, min(horizons))
+        while pending and pending[0].arrival_us <= clock + _EPS:
+            queue.append(pending.popleft())
+
+        alive = injector.alive_cores(clock)
+        if not alive:
+            # Offline cores never come back: nothing can ever run again.
+            for r in queue:
+                shed.append(ShedRecord(r, shed_us=clock, reason="no-cores"))
+            for r in pending:
+                shed.append(
+                    ShedRecord(r, shed_us=max(clock, r.arrival_us), reason="no-cores")
+                )
+            queue.clear()
+            pending.clear()
+            break
+
+        if shed_slo:
+            hopeless = [
+                r
+                for r in queue
+                if r.slo_us > 0 and clock - r.arrival_us > r.slo_us + _EPS
+            ]
+            for r in hopeless:
+                queue.remove(r)
+                shed.append(ShedRecord(r, shed_us=clock, reason="slo"))
+            if not queue and not pending:
+                break
+
+        ready = [r for r in queue if eligible_us.get(r.rid, 0.0) <= clock + _EPS]
+        if not ready:
+            continue  # the clock advance above guarantees progress
+
+        assignments = policy.plan(ready, npu, predictor, cores=alive)
+        _check_assignments(assignments, ready, npu)
+        for request, _ in assignments:
+            queue.remove(request)
+            attempts[request.rid] = attempts.get(request.rid, 0) + 1
+
+        pattern = tuple((r.model, cores) for r, cores in assignments)
+        merged = predictor.merged_for(pattern)
+        patterns_used.add(pattern)
+
+        sim = injector.run_wave(merged, seed=seed + wave_index, start_us=clock)
+        stats = sim.faults
+        assert stats is not None
+        stall_cycles += stats.stall_cycles
+        throttled_busy += sum(stats.throttled_busy_cycles)
+        total_busy += sum(stats.busy_cycles)
+        failed = abandoned_tenants(merged, stats) if stats.failed else set()
+        if failed:
+            num_failed_waves += 1
+
+        spans = tenant_spans(
+            sim.trace, [_slot_name(slot) for slot in range(len(assignments))]
+        )
+        wave_end_us = clock + sim.latency_us
+        for slot, (request, cores) in enumerate(assignments):
+            if _slot_name(slot) in failed:
+                n = attempts[request.rid]
+                if n >= retry_limit:
+                    shed.append(
+                        ShedRecord(request, shed_us=wave_end_us, reason="retries")
+                    )
+                    continue
+                num_retries += 1
+                eligible_us[request.rid] = wave_end_us + backoff_us * (2 ** (n - 1))
+                queue.append(request)
+                continue
+            start_cy, end_cy = spans.get(_slot_name(slot), (0.0, 0.0))
+            finish_us = clock + npu.cycles_to_us(end_cy)
+            results.append(
+                RequestResult(
+                    request=request,
+                    start_us=clock + npu.cycles_to_us(start_cy),
+                    finish_us=finish_us,
+                    cores=cores,
+                    wave=wave_index,
+                    attempts=attempts[request.rid],
+                )
+            )
+            makespan_us = max(makespan_us, finish_us)
+        for core in range(npu.num_cores):
+            busy_cycles[core] += sim.trace.busy_time(core)
+        clock = wave_end_us
+        wave_index += 1
+
+    degraded = DegradedStats(
+        faults=faults.describe(),
+        num_retries=num_retries,
+        num_failed_waves=num_failed_waves,
+        num_shed=len(shed),
+        shed_rate=len(shed) / len(requests) if requests else 0.0,
+        dead_cores=faults.dead_cores_at(max(clock, makespan_us)),
+        throttled_fraction=(throttled_busy / total_busy) if total_busy > 0 else 0.0,
+        stall_cycles=stall_cycles,
+    )
+    makespan_cycles = npu.us_to_cycles(makespan_us)
+    return build_report(
+        policy=policy.name,
+        machine=npu.name,
+        models=[m if isinstance(m, str) else m[0] for m in models],
+        seed=seed,
+        rps=rps,
+        duration_us=duration_us,
+        results=results_sorted(results),
+        num_waves=wave_index,
+        busy_cycles=busy_cycles,
+        makespan_cycles=makespan_cycles,
+        latency_us_per_cycle=npu.cycles_to_us(1.0),
+        verified_programs=len(patterns_used),
+        degraded=degraded,
+        shed=tuple(sorted(shed, key=lambda s: s.request.rid)),
+    )

@@ -1,4 +1,12 @@
-"""Serving metrics: latency percentiles, SLO compliance, utilization."""
+"""Serving metrics: latency percentiles, SLO compliance, utilization.
+
+Clean runs produce the exact report schema this module always had;
+degraded-mode runs (:mod:`repro.serve.degraded`) additionally attach a
+:class:`DegradedStats` section and shed-request records.  The extra
+keys appear in ``to_dict`` output only when a degradation section is
+present, which keeps clean-path reports byte-identical whether or not
+the fault machinery is importable, configured, or passed an empty plan.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +14,7 @@ import dataclasses
 import json
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.serve.request import RequestResult
+from repro.serve.request import Request, RequestResult
 
 
 def percentile(xs: Sequence[float], p: float) -> float:
@@ -20,6 +28,62 @@ def percentile(xs: Sequence[float], p: float) -> float:
         return ordered[0]
     rank = max(1, -(-len(ordered) * p // 100))  # ceil without float error
     return ordered[int(rank) - 1]
+
+
+@dataclasses.dataclass(frozen=True)
+class ShedRecord:
+    """A request the degraded-mode server explicitly gave up on."""
+
+    request: Request
+    #: serving time at which the request was shed.
+    shed_us: float
+    #: why: ``"slo"`` (admission would hopelessly miss the SLO),
+    #: ``"retries"`` (exhausted the retry budget), or ``"no-cores"``.
+    reason: str
+
+    def to_dict(self) -> Dict:
+        return {
+            "rid": self.request.rid,
+            "model": self.request.model,
+            "arrival_us": self.request.arrival_us,
+            "slo_us": self.request.slo_us,
+            "shed_us": self.shed_us,
+            "reason": self.reason,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class DegradedStats:
+    """The degradation section of a fault-injected serving report."""
+
+    #: human-readable description of the injected fault plan.
+    faults: str
+    #: total re-executions (a request served on attempt 3 counts 2).
+    num_retries: int
+    #: waves that lost at least one request to a fault.
+    num_failed_waves: int
+    #: requests explicitly shed (SLO pressure or retry exhaustion).
+    num_shed: int
+    #: shed requests / all requests.
+    shed_rate: float
+    #: cores offline by the end of the run.
+    dead_cores: Tuple[int, ...]
+    #: compute cycles at reduced DVFS frequency / all compute cycles.
+    throttled_fraction: float
+    #: total start-delay cycles injected by stall windows.
+    stall_cycles: float
+
+    def to_dict(self) -> Dict:
+        return {
+            "faults": self.faults,
+            "num_retries": self.num_retries,
+            "num_failed_waves": self.num_failed_waves,
+            "num_shed": self.num_shed,
+            "shed_rate": self.shed_rate,
+            "dead_cores": list(self.dead_cores),
+            "throttled_fraction": self.throttled_fraction,
+            "stall_cycles": self.stall_cycles,
+        }
 
 
 @dataclasses.dataclass(frozen=True)
@@ -50,6 +114,10 @@ class ServeReport:
     #: distinct merged programs built (each one verifier-clean).
     verified_programs: int
     results: Tuple[RequestResult, ...] = dataclasses.field(repr=False)
+    #: degradation section; ``None`` on clean (fault-free) runs.
+    degraded: Optional[DegradedStats] = None
+    #: requests explicitly shed by the degraded-mode server.
+    shed: Tuple[ShedRecord, ...] = ()
 
     @property
     def mean_utilization(self) -> float:
@@ -80,6 +148,11 @@ class ServeReport:
             "mean_utilization": self.mean_utilization,
             "verified_programs": self.verified_programs,
         }
+        # Degradation keys only exist on degraded reports, so clean
+        # reports stay byte-identical to the pre-fault-injection schema.
+        if self.degraded is not None:
+            out["degraded"] = self.degraded.to_dict()
+            out["shed_requests"] = [s.to_dict() for s in self.shed]
         if include_requests:
             out["requests"] = [
                 {
@@ -95,6 +168,7 @@ class ServeReport:
                     "slo_met": r.slo_met,
                     "cores": list(r.cores),
                     "wave": r.wave,
+                    **({"attempts": r.attempts} if self.degraded is not None else {}),
                 }
                 for r in self.results
             ]
@@ -117,6 +191,8 @@ def build_report(
     makespan_cycles: float,
     latency_us_per_cycle: float,
     verified_programs: int,
+    degraded: Optional[DegradedStats] = None,
+    shed: Sequence[ShedRecord] = (),
 ) -> ServeReport:
     """Aggregate per-request results into a :class:`ServeReport`."""
     totals = [r.total_us for r in results]
@@ -150,6 +226,8 @@ def build_report(
         utilization=utilization,
         verified_programs=verified_programs,
         results=tuple(results),
+        degraded=degraded,
+        shed=tuple(shed),
     )
 
 

@@ -13,11 +13,18 @@ start together on disjoint core groups.  Three policies ship:
   across cores is sublinear, so under backlog narrower groups serve the
   queue faster -- unless bus contention eats the win, which the
   measurement catches).
+
+Every policy plans over an explicit *available core set* (``cores``),
+which defaults to the whole machine.  Degraded-mode serving
+(:mod:`repro.serve.degraded`) passes the surviving cores instead, so a
+policy transparently recompiles and repacks onto whatever the fault
+injector left alive -- the recompile itself is absorbed by the
+fingerprint-keyed program cache, which already keys by core group.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple, Type
+from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.hw.config import NPUConfig
 from repro.serve.predictor import LatencyPredictor
@@ -37,17 +44,20 @@ class SchedulingPolicy:
         queue: Sequence[Request],
         npu: NPUConfig,
         predictor: LatencyPredictor,
+        cores: Optional[Tuple[int, ...]] = None,
     ) -> Assignment:
         """Pick the next wave from ``queue`` (non-empty, arrival order).
 
-        Returns at least one assignment; the server removes the chosen
-        requests from its queue.
+        ``cores`` is the available core set (default: every core of the
+        machine); assignments must stay within it.  Returns at least one
+        assignment; the server removes the chosen requests from its
+        queue.
         """
         raise NotImplementedError
 
 
 class FifoPolicy(SchedulingPolicy):
-    """First come, first served; every request gets all cores."""
+    """First come, first served; every request gets all available cores."""
 
     name = "fifo"
 
@@ -56,12 +66,13 @@ class FifoPolicy(SchedulingPolicy):
         queue: Sequence[Request],
         npu: NPUConfig,
         predictor: LatencyPredictor,
+        cores: Optional[Tuple[int, ...]] = None,
     ) -> Assignment:
-        return [(queue[0], predictor.all_cores)]
+        return [(queue[0], cores or predictor.all_cores)]
 
 
 class SjfPolicy(SchedulingPolicy):
-    """Shortest predicted job first; every request gets all cores.
+    """Shortest predicted job first; every request gets all available cores.
 
     Prediction comes from the program cache's isolated simulation, so
     ranking N queued requests costs one simulation per *distinct* model,
@@ -75,18 +86,20 @@ class SjfPolicy(SchedulingPolicy):
         queue: Sequence[Request],
         npu: NPUConfig,
         predictor: LatencyPredictor,
+        cores: Optional[Tuple[int, ...]] = None,
     ) -> Assignment:
+        cores = cores or predictor.all_cores
         best = min(
             queue,
-            key=lambda r: (predictor.predicted_latency_us(r.model), r.rid),
+            key=lambda r: (predictor.predicted_latency_us(r.model, cores), r.rid),
         )
-        return [(best, predictor.all_cores)]
+        return [(best, cores)]
 
 
 class DynamicPolicy(SchedulingPolicy):
     """Dynamic core-group allocation: pack concurrent requests.
 
-    For every candidate width ``w`` up to ``min(len(queue), num_cores,
+    For every candidate width ``w`` up to ``min(len(queue), len(cores),
     max_width)``, the oldest ``w`` requests get contiguous disjoint core
     groups sized longest-processing-time first (every request one core,
     each spare core to the request with the most remaining per-core
@@ -95,6 +108,10 @@ class DynamicPolicy(SchedulingPolicy):
     is what prices cross-group bus contention, which isolated estimates
     miss).  The width that maximizes requests served per microsecond
     wins; ties go to the narrower wave.
+
+    With a reduced ``cores`` set (degraded mode) the groups are
+    contiguous runs of the *surviving* core list, so e.g. losing core 1
+    of three leaves the packable groups ``(0,)``, ``(2,)``, ``(0, 2)``.
     """
 
     name = "dynamic"
@@ -109,15 +126,17 @@ class DynamicPolicy(SchedulingPolicy):
         queue: Sequence[Request],
         npu: NPUConfig,
         predictor: LatencyPredictor,
+        cores: Optional[Tuple[int, ...]] = None,
     ) -> Assignment:
-        width_cap = min(len(queue), npu.num_cores)
+        cores = cores or predictor.all_cores
+        width_cap = min(len(queue), len(cores))
         if self.max_width:
             width_cap = min(width_cap, self.max_width)
         best_throughput = 0.0
         best: Assignment = []
         for width in range(1, width_cap + 1):
             picked = list(queue[:width])
-            groups = self._pack(picked, npu, predictor, width)
+            groups = self._pack(picked, cores, predictor, width)
             pattern = tuple(
                 (r.model, g) for r, g in zip(picked, groups)
             )
@@ -131,18 +150,18 @@ class DynamicPolicy(SchedulingPolicy):
     @staticmethod
     def _pack(
         picked: Sequence[Request],
-        npu: NPUConfig,
+        cores: Tuple[int, ...],
         predictor: LatencyPredictor,
         width: int,
     ) -> List[Tuple[int, ...]]:
-        """Contiguous disjoint groups covering the machine, sized LPT.
+        """Contiguous disjoint groups covering the available cores, LPT.
 
         Work proxy: the whole-machine predicted latency (one cached
         simulation per distinct model).
         """
         work = [predictor.predicted_latency_us(r.model) for r in picked]
         sizes = [1] * width
-        for _ in range(npu.num_cores - width):
+        for _ in range(len(cores) - width):
             # deterministic argmax of remaining per-core work.
             i = max(
                 range(width),
@@ -152,7 +171,7 @@ class DynamicPolicy(SchedulingPolicy):
         groups: List[Tuple[int, ...]] = []
         next_core = 0
         for size in sizes:
-            groups.append(tuple(range(next_core, next_core + size)))
+            groups.append(tuple(cores[next_core:next_core + size]))
             next_core += size
         return groups
 

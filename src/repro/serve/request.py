@@ -52,6 +52,9 @@ class RequestResult:
     cores: Tuple[int, ...]
     #: index of the wave that executed it.
     wave: int
+    #: executions it took (1 = first try; >1 means faulted waves were
+    #: retried by the degraded-mode server).
+    attempts: int = 1
 
     @property
     def queue_us(self) -> float:

@@ -23,7 +23,7 @@ backfills cores the moment they free up.
 from __future__ import annotations
 
 from collections import deque
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
 
 from repro.compiler.cache import ProgramCache
 from repro.compiler.options import CompileOptions
@@ -39,6 +39,9 @@ from repro.serve.request import (
 )
 from repro.sim.multitenant import tenant_spans
 from repro.sim.simulator import simulate
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.plan import FaultPlan
 
 _EPS = 1e-9
 
@@ -59,6 +62,10 @@ def serve(
     max_requests: int = 0,
     predictor: Optional[LatencyPredictor] = None,
     cache: Optional[ProgramCache] = None,
+    faults: "Optional[FaultPlan]" = None,
+    retry_limit: int = 3,
+    backoff_us: float = 200.0,
+    shed_slo: bool = False,
 ) -> ServeReport:
     """Serve one generated workload under one policy.
 
@@ -66,7 +73,34 @@ def serve(
     model's isolated whole-machine latency (0 disables SLOs).  Passing a
     shared ``predictor`` (or ``cache``) lets several policy runs reuse
     compilations and isolated simulations.
+
+    A non-empty ``faults`` plan routes to the degraded-mode loop
+    (:func:`repro.serve.degraded.serve_degraded`), which retries failed
+    waves (``retry_limit`` executions max, exponential ``backoff_us``),
+    recompiles onto surviving cores, and -- with ``shed_slo`` -- sheds
+    hopeless requests.  An empty or absent plan takes the clean path
+    below, untouched, so fault-free reports stay byte-identical.
     """
+    if faults is not None and not faults.is_empty:
+        from repro.serve.degraded import serve_degraded
+
+        return serve_degraded(
+            models,
+            npu,
+            faults,
+            policy=policy,
+            rps=rps,
+            duration_us=duration_us,
+            seed=seed,
+            options=options,
+            slo_scale=slo_scale,
+            max_requests=max_requests,
+            predictor=predictor,
+            cache=cache,
+            retry_limit=retry_limit,
+            backoff_us=backoff_us,
+            shed_slo=shed_slo,
+        )
     if isinstance(policy, str):
         policy = get_policy(policy)
     if predictor is None:

@@ -110,6 +110,17 @@ class FluidBus:
     def rates(self) -> Dict[int, float]:
         return {cid: tr.rate for cid, tr in self._active.items()}
 
+    def cancel(self, cid: int) -> None:
+        """Abort an in-flight transfer (fault injection: its core died).
+
+        The freed bandwidth is redistributed among the survivors, same
+        as on a normal completion.
+        """
+        if cid not in self._active:
+            raise KeyError(f"transfer {cid} not active")
+        del self._active[cid]
+        self._recompute_rates()
+
     def force_min_completion(self) -> List[int]:
         """Finish the transfer(s) closest to done.
 

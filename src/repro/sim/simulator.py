@@ -26,9 +26,12 @@ from __future__ import annotations
 import dataclasses
 import heapq
 import random
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.compiler.program import CommandKind, Engine, Program
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.plan import FaultPlan, FaultStats
 from repro.cost.compute import compute_cycles
 from repro.hw.config import NPUConfig
 from repro.sim.bus import FluidBus
@@ -46,11 +49,16 @@ _PLAN_ATTR = "_sim_plans"
 
 @dataclasses.dataclass
 class SimResult:
-    """Outcome of one simulated inference."""
+    """Outcome of one simulated inference.
+
+    ``faults`` is populated only by fault-injected runs
+    (:mod:`repro.faults`); clean simulation leaves it ``None``.
+    """
 
     trace: Trace
     makespan_cycles: float
     npu: NPUConfig
+    faults: "Optional[FaultStats]" = None
 
     @property
     def latency_us(self) -> float:
@@ -178,13 +186,28 @@ def _plan_for(program: Program, npu: NPUConfig) -> _SimPlan:
     return plan
 
 
-def simulate(program: Program, npu: NPUConfig, seed: int = 0) -> SimResult:
+def simulate(
+    program: Program,
+    npu: NPUConfig,
+    seed: int = 0,
+    faults: "Optional[FaultPlan]" = None,
+) -> SimResult:
     """Run ``program`` to completion and return the trace.
 
     ``seed`` drives the deterministic pseudo-random jitter applied to
     cross-core coordination commands (barriers, halo rendezvous); runs
     with equal seeds are bit-identical.
+
+    A non-empty ``faults`` plan routes to the fault-aware engine in
+    :mod:`repro.faults.engine` (throttling, stalls, core-offline); an
+    empty or absent plan runs the clean scheduler below, untouched, so
+    the no-fault path is bit-identical whether or not a plan object was
+    passed.
     """
+    if faults is not None and not faults.is_empty:
+        from repro.faults.engine import simulate_faulted
+
+        return simulate_faulted(program, npu, seed=seed, plan=faults)
     if program.num_cores > npu.num_cores:
         raise ValueError(
             f"program targets {program.num_cores} cores, machine has {npu.num_cores}"

@@ -1,0 +1,39 @@
+"""Clean-path serving must keep reproducing the committed benchmark.
+
+Re-runs ``benchmarks/bench_serving.py``'s exact parameters -- through an
+*empty* fault plan, exercising the no-op routing -- and compares the
+summary against the committed ``BENCH_serving.json``.  This is the
+regression gate for the fault-injection layer: adding ``repro.faults``
+must not move a single clean-path number.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from benchmarks.bench_serving import DURATION_US, MIX, RPS, SEED, RESULT_PATH
+from repro.analysis.serving import serving_summary
+from repro.faults import FaultPlan
+from repro.hw import exynos2100_like
+from repro.serve import serve_policies
+
+
+@pytest.mark.skipif(
+    not pathlib.Path(RESULT_PATH).exists(),
+    reason="BENCH_serving.json not generated yet",
+)
+def test_empty_fault_plan_reproduces_committed_benchmark():
+    committed = json.loads(pathlib.Path(RESULT_PATH).read_text())
+    reports = serve_policies(
+        MIX,
+        exynos2100_like(),
+        rps=RPS,
+        duration_us=DURATION_US,
+        seed=SEED,
+        faults=FaultPlan(),
+    )
+    fresh = json.loads(json.dumps(serving_summary(reports)))
+    assert fresh == committed

@@ -29,6 +29,20 @@ class TestDescribe:
         with pytest.raises(SystemExit):
             main(["describe", "ResNet"])
 
+    def test_machine_only(self, capsys):
+        assert main(["describe", "--machine", "exynos2100"]) == 0
+        out = capsys.readouterr().out
+        assert "3 cores" in out and "DVFS steps" in out
+
+    def test_machine_and_model(self, capsys):
+        assert main(["describe", "stem", "--machine", "tiny2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 cores" in out and "MACs" in out
+
+    def test_needs_model_or_machine(self):
+        with pytest.raises(SystemExit):
+            main(["describe"])
+
 
 class TestCompile:
     def test_summary_printed(self, capsys):
@@ -66,9 +80,29 @@ class TestRun:
     def test_homogeneous_machine(self, capsys):
         assert main(["run", "stem", "--machine", "hom2", "--config", "base"]) == 0
 
-    def test_bad_machine(self):
-        with pytest.raises(SystemExit):
+    def test_tiny_machine(self, capsys):
+        assert main(["run", "stem", "--machine", "tiny2", "--config", "base"]) == 0
+
+    def test_bad_machine(self, capsys):
+        with pytest.raises(SystemExit) as exc:
             main(["run", "stem", "--machine", "tpu"])
+        # the error names the known presets (from the shared resolver).
+        assert "exynos2100" in str(exc.value)
+
+    def test_bad_machine_suffix(self):
+        with pytest.raises(SystemExit):
+            main(["run", "stem", "--machine", "homx"])
+
+    def test_machine_json_roundtrip(self, tmp_path, capsys):
+        from repro.hw import save_machine, tiny_test_machine
+
+        path = tmp_path / "m.json"
+        save_machine(tiny_test_machine(2), path)
+        assert main(["run", "stem", "--machine", str(path), "--config", "base"]) == 0
+
+    def test_missing_machine_json(self):
+        with pytest.raises(SystemExit):
+            main(["run", "stem", "--machine", "nope.json"])
 
 
 class TestAudit:
@@ -163,6 +197,44 @@ class TestServe:
     def test_unknown_model(self):
         with pytest.raises(SystemExit):
             main(["serve", "ResNet", "--duration-short"])
+
+    def test_default_mix(self, capsys):
+        assert main(["serve", "--duration-short", "--rps", "3000",
+                     "--policy", "dynamic"]) == 0
+        out = capsys.readouterr().out
+        assert "MobileNetV2+InceptionV3" in out
+
+    def test_faults_core_offline(self, capsys):
+        assert (
+            main(
+                [
+                    "serve", "--duration-short", "--rps", "3000",
+                    "--policy", "dynamic",
+                    "--faults", "core_offline@50%",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "degradation" in out and "core0 offline" in out
+
+    def test_faults_json_report(self, capsys):
+        assert (
+            main(
+                [
+                    "serve", "MobileNetV2", "--duration-short", "--rps", "3000",
+                    "--policy", "fifo", "--faults", "throttle", "--json",
+                ]
+            )
+            == 0
+        )
+        data = json.loads(capsys.readouterr().out)
+        assert data[0]["degraded"]["faults"] == "throttle cores=all"
+        assert "shed_requests" in data[0]
+
+    def test_bad_fault_spec(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--duration-short", "--faults", "meteor@50%"])
 
 
 class TestSweepAndTables:

@@ -1,0 +1,72 @@
+"""Documentation consistency (the static half of tools/check_docs.py).
+
+Snippet execution stays in CI (``tools/check_docs.py --exec``); here we
+run the cheap structural checks on every test run and pin the checker's
+own detection logic against synthetic breakage.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+spec = importlib.util.spec_from_file_location(
+    "check_docs", REPO / "tools" / "check_docs.py"
+)
+check_docs = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_docs)
+
+
+class TestRepoDocs:
+    def test_no_broken_references(self):
+        assert check_docs.check_links() == []
+
+    def test_every_package_documented(self):
+        assert check_docs.check_packages_documented() == []
+
+    def test_docs_indexed(self):
+        assert check_docs.check_docs_indexed() == []
+
+
+class TestCheckerDetects:
+    def _repo_skeleton(self, tmp_path: pathlib.Path) -> pathlib.Path:
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "src" / "repro").mkdir(parents=True)
+        (tmp_path / "docs" / "architecture.md").write_text("# arch\n")
+        (tmp_path / "docs" / "paper_mapping.md").write_text("# map\n")
+        (tmp_path / "docs" / "README.md").write_text(
+            "[architecture.md](architecture.md) "
+            "[paper_mapping.md](paper_mapping.md)\n"
+        )
+        return tmp_path
+
+    def test_flags_broken_link(self, tmp_path):
+        repo = self._repo_skeleton(tmp_path)
+        (repo / "README.md").write_text("see [gone](docs/gone.md)\n")
+        problems = check_docs.check_links(repo)
+        assert problems and "docs/gone.md" in problems[0]
+
+    def test_flags_undocumented_package(self, tmp_path):
+        repo = self._repo_skeleton(tmp_path)
+        pkg = repo / "src" / "repro" / "mystery"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        problems = check_docs.check_packages_documented(repo)
+        assert any("repro.mystery" in p for p in problems)
+
+    def test_flags_unindexed_doc(self, tmp_path):
+        repo = self._repo_skeleton(tmp_path)
+        (repo / "docs" / "orphan.md").write_text("# orphan\n")
+        problems = check_docs.check_docs_indexed(repo)
+        assert problems == ["docs/README.md does not link orphan.md"]
+
+    def test_fast_path_rewrites(self):
+        fast = check_docs._fast_path
+        assert fast("python -m repro lint all  # whole zoo").endswith("lint stem")
+        assert "--duration-short" in fast("python -m repro serve --faults throttle")
+        assert "--seeds 1" in fast("python -m repro sweep stem")
+        # already-fast commands are left alone.
+        cmd = "python -m repro serve stem --duration-short"
+        assert fast(cmd) == cmd

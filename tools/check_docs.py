@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""Docs-consistency checker for CI.
+
+Static checks (always):
+
+* every relative link / backticked ``docs/*.md`` reference from the
+  top-level markdown files and everything under ``docs/`` resolves to a
+  file that exists;
+* every package under ``src/repro`` is documented -- mentioned as
+  ``repro.<name>`` in ``docs/architecture.md`` or
+  ``docs/paper_mapping.md``;
+* every markdown file in ``docs/`` is linked from the
+  ``docs/README.md`` index.
+
+With ``--exec``, additionally smoke-executes the ``python -m repro``
+command lines found in fenced ``bash`` blocks of ``docs/README.md``,
+rewritten onto fast paths (short serving windows, single-model lint)
+so the tour in the docs cannot rot.
+
+Exit status is the number of failures; findings go to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import re
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+# markdown files whose references we police.
+TOP_LEVEL_DOCS = ("README.md", "EXPERIMENTS.md", "ROADMAP.md", "CHANGES.md")
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)\)")
+_TICKED_DOC = re.compile(r"`((?:docs/)?[\w./-]+\.md)`")
+
+
+def _markdown_files(repo: pathlib.Path) -> list[pathlib.Path]:
+    files = [repo / name for name in TOP_LEVEL_DOCS if (repo / name).exists()]
+    files.extend(sorted((repo / "docs").glob("*.md")))
+    return files
+
+
+def check_links(repo: pathlib.Path = REPO) -> list[str]:
+    """Every relative markdown reference must resolve to a real file."""
+    problems = []
+    for md in _markdown_files(repo):
+        text = md.read_text()
+        targets = _LINK.findall(text)
+        targets += [t for t in _TICKED_DOC.findall(text) if "/" in t]
+        for target in targets:
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            resolved = (md.parent / target).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{md.relative_to(repo)}: broken reference '{target}'"
+                )
+    return problems
+
+
+def check_packages_documented(repo: pathlib.Path = REPO) -> list[str]:
+    """Each repro package must appear in architecture.md or paper_mapping.md."""
+    corpus = ""
+    for name in ("architecture.md", "paper_mapping.md"):
+        path = repo / "docs" / name
+        if path.exists():
+            corpus += path.read_text()
+        else:
+            return [f"docs/{name} is missing"]
+    problems = []
+    src = repo / "src" / "repro"
+    packages = sorted(
+        p.name for p in src.iterdir()
+        if p.is_dir() and (p / "__init__.py").exists()
+    )
+    packages.append("cli")
+    for package in packages:
+        if f"repro.{package}" not in corpus:
+            problems.append(
+                f"package repro.{package} is documented in neither "
+                "docs/architecture.md nor docs/paper_mapping.md"
+            )
+    return problems
+
+
+def check_docs_indexed(repo: pathlib.Path = REPO) -> list[str]:
+    """docs/README.md must link every markdown file living in docs/."""
+    index = repo / "docs" / "README.md"
+    if not index.exists():
+        return ["docs/README.md is missing"]
+    text = index.read_text()
+    problems = []
+    for doc in sorted((repo / "docs").glob("*.md")):
+        if doc.name == "README.md":
+            continue
+        if f"({doc.name})" not in text:
+            problems.append(f"docs/README.md does not link {doc.name}")
+    return problems
+
+
+def _bash_snippets(path: pathlib.Path) -> list[str]:
+    """Logical command lines from fenced ``bash`` blocks (joining '\\')."""
+    lines: list[str] = []
+    in_bash = False
+    for raw in path.read_text().splitlines():
+        if raw.strip().startswith("```"):
+            in_bash = raw.strip() == "```bash"
+            continue
+        if not in_bash or not raw.strip() or raw.lstrip().startswith("#"):
+            continue
+        if lines and lines[-1].endswith("\\"):
+            lines[-1] = lines[-1][:-1].rstrip() + " " + raw.strip()
+        else:
+            lines.append(raw.strip())
+    return lines
+
+
+def _fast_path(command: str) -> str:
+    """Rewrite a doc command onto a smoke-test-sized equivalent."""
+    command = command.split("#", 1)[0].strip()
+    if " serve" in command and "--duration-short" not in command:
+        command += " --duration-short --requests 6"
+    if " sweep" in command and "--seeds" not in command:
+        command += " --seeds 1"
+    command = command.replace(" lint all", " lint stem")
+    return command
+
+
+def run_snippets(repo: pathlib.Path = REPO) -> list[str]:
+    """Smoke-execute the ``python -m repro`` lines from docs/README.md."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(repo / "src"), env.get("PYTHONPATH", "")])
+    )
+    problems = []
+    for snippet in _bash_snippets(repo / "docs" / "README.md"):
+        if not snippet.startswith("python -m repro"):
+            continue  # pip installs, pytest runs, example scripts
+        command = _fast_path(snippet)
+        print(f"  exec: {command}")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro"] + command.split()[3:],
+            cwd=repo, env=env, capture_output=True, text=True, timeout=300,
+        )
+        if proc.returncode != 0:
+            tail = (proc.stderr or proc.stdout).strip().splitlines()[-5:]
+            problems.append(
+                f"docs/README.md snippet failed ({proc.returncode}): "
+                f"{snippet!r}\n    " + "\n    ".join(tail)
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--exec", dest="execute", action="store_true",
+        help="also smoke-execute the repro CLI snippets in docs/README.md",
+    )
+    args = parser.parse_args(argv)
+
+    problems = check_links() + check_packages_documented() + check_docs_indexed()
+    if args.execute:
+        problems += run_snippets()
+    for problem in problems:
+        print(f"FAIL: {problem}")
+    if not problems:
+        print("docs consistent" + (" (snippets executed)" if args.execute else ""))
+    return len(problems)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
