@@ -2,25 +2,34 @@
 
 One seeded open-loop request stream (InceptionV3 + MobileNetV2 at a
 rate the machine cannot absorb serially) is served under all three
-scheduling policies; the headline claim is that dynamic core-group
-allocation finishes the backlog sooner than static whole-machine FIFO,
-because parallel scaling across NPU cores is sublinear and packed
-narrow groups waste less of it.
+scheduling policies; the headline claims are that
+
+* dynamic core-group allocation finishes the backlog sooner than static
+  whole-machine FIFO under gang scheduling, because parallel scaling
+  across NPU cores is sublinear and packed narrow groups waste less of
+  it; and
+* continuous (backfill) admission strictly beats gang scheduling on
+  both makespan and mean queueing delay for *every* policy and every
+  pinned seed -- cores stop idling at wave barriers, so the same
+  hardware absorbs the same backlog sooner.
 
 Results land in ``BENCH_serving.json`` at the repo root (and a text
-copy under ``benchmarks/out/``).  Run standalone with
-``python benchmarks/bench_serving.py`` or through pytest with
+copy under ``benchmarks/out/``): the top-level keys are the
+gang-scheduled summary (unchanged schema), and the ``"continuous"``
+key holds the per-seed gang-vs-continuous comparison.  Run standalone
+with ``python benchmarks/bench_serving.py`` or through pytest with
 ``pytest benchmarks/bench_serving.py --benchmark-only -s``.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
-from typing import List
+from typing import Dict, List, Tuple
 
-from repro.analysis.serving import render_serving_table, serving_summary, write_serving_report
+from repro.analysis.serving import render_serving_table, serving_summary
 from repro.hw import exynos2100_like
-from repro.serve import ServeReport, serve_policies
+from repro.serve import LatencyPredictor, ServeReport, serve_policies
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 RESULT_PATH = REPO_ROOT / "BENCH_serving.json"
@@ -29,6 +38,8 @@ MIX = ["InceptionV3", "MobileNetV2"]
 RPS = 3000.0
 DURATION_US = 8000.0
 SEED = 0
+#: seeds of the gang-vs-continuous comparison (SEED must be first).
+SEEDS = (0, 1, 2)
 
 
 def collect(npu) -> List[ServeReport]:
@@ -37,43 +48,104 @@ def collect(npu) -> List[ServeReport]:
     )
 
 
-def _render(reports: List[ServeReport]) -> str:
-    summary = serving_summary(reports)
-    lines = [render_serving_table(reports), ""]
+def collect_modes(npu, seed: int) -> Tuple[List[ServeReport], List[ServeReport]]:
+    """Gang and continuous reports for one seed, sharing one predictor."""
+    predictor = LatencyPredictor(npu, None, seed=seed)
+    common = dict(rps=RPS, duration_us=DURATION_US, seed=seed, predictor=predictor)
+    gang = serve_policies(MIX, npu, **common)
+    cont = serve_policies(MIX, npu, mode="continuous", **common)
+    return gang, cont
+
+
+def build_summary(npu) -> Tuple[Dict, Dict[int, Tuple[List[ServeReport], List[ServeReport]]]]:
+    """The full benchmark summary plus every seed's (gang, continuous) pair."""
+    per_seed: Dict[str, Dict] = {}
+    pairs: Dict[int, Tuple[List[ServeReport], List[ServeReport]]] = {}
+    for seed in SEEDS:
+        gang, cont = collect_modes(npu, seed)
+        pairs[seed] = (gang, cont)
+        per_seed[str(seed)] = serving_summary(gang + cont)["continuous"]
+    summary = serving_summary(pairs[SEED][0])
+    summary["continuous"] = per_seed
+    return summary, pairs
+
+
+def _assert_continuous_dominates(
+    gang: List[ServeReport], cont: List[ServeReport]
+) -> None:
+    gang_by = {r.policy: r for r in gang}
+    for r in cont:
+        g = gang_by[r.policy]
+        assert r.makespan_us < g.makespan_us, (r.policy, r.seed)
+        assert r.mean_queue_us < g.mean_queue_us, (r.policy, r.seed)
+        assert r.continuous is not None
+        assert r.continuous.policy_stall_us == 0.0, (r.policy, r.seed)
+
+
+def _write(summary: Dict) -> None:
+    RESULT_PATH.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+
+
+def _render(summary: Dict, gang0: List[ServeReport], cont0: List[ServeReport]) -> str:
+    lines = [render_serving_table(gang0 + cont0), ""]
     lines.append(
-        "dynamic vs fifo makespan: "
+        "dynamic vs fifo makespan (gang): "
         f"{summary['dynamic_vs_fifo_makespan']:.2f}x"
     )
-    lines.append(f"sjf vs fifo p50: {summary['sjf_vs_fifo_p50']:.2f}x")
+    lines.append(f"sjf vs fifo p50 (gang): {summary['sjf_vs_fifo_p50']:.2f}x")
+    for seed in SEEDS:
+        vs = summary["continuous"][str(seed)]["vs_gang"]
+        lines.append(
+            f"continuous vs gang makespan, seed {seed}: "
+            + "  ".join(
+                f"{p}={vs[p]['makespan_speedup']:.2f}x" for p in sorted(vs)
+            )
+        )
     return "\n".join(lines)
 
 
 def test_serving(benchmark, npu, out_dir):
-    """Serves the workload under all policies; asserts the acceptance
-    criterion (dynamic beats static FIFO on makespan)."""
-    reports = benchmark.pedantic(lambda: collect(npu), rounds=1, iterations=1)
-    by_policy = {r.policy: r for r in reports}
+    """Serves the workload under all policies and both admission modes;
+    asserts the acceptance criteria (dynamic beats static FIFO on gang
+    makespan; continuous beats gang on makespan and queueing delay for
+    every policy and seed)."""
+    summary, pairs = benchmark.pedantic(
+        lambda: build_summary(npu), rounds=1, iterations=1
+    )
+    gang0, cont0 = pairs[SEED]
+    by_policy = {r.policy: r for r in gang0}
     benchmark.extra_info["num_requests"] = by_policy["fifo"].num_requests
-    for r in reports:
-        benchmark.extra_info[f"{r.policy}_makespan_us"] = round(r.makespan_us, 1)
-        benchmark.extra_info[f"{r.policy}_p99_us"] = round(r.p99_us, 1)
-    write_serving_report(reports, RESULT_PATH)
+    for r in gang0 + cont0:
+        key = f"{r.policy}_{r.mode}"
+        benchmark.extra_info[f"{key}_makespan_us"] = round(r.makespan_us, 1)
+        benchmark.extra_info[f"{key}_p99_us"] = round(r.p99_us, 1)
+    _write(summary)
 
     from benchmarks.conftest import emit
 
-    emit(out_dir, "serving.txt", _render(reports))
+    emit(out_dir, "serving.txt", _render(summary, gang0, cont0))
     assert by_policy["fifo"].num_requests > 0
     assert by_policy["dynamic"].makespan_us < by_policy["fifo"].makespan_us
+    for seed in SEEDS:
+        _assert_continuous_dominates(*pairs[seed])
 
 
 def main() -> int:
     npu = exynos2100_like()
-    reports = collect(npu)
-    write_serving_report(reports, RESULT_PATH)
-    print(_render(reports))
+    summary, pairs = build_summary(npu)
+    gang0, cont0 = pairs[SEED]
+    _write(summary)
+    print(_render(summary, gang0, cont0))
     print(f"\nwritten to {RESULT_PATH}")
-    by_policy = {r.policy: r for r in reports}
-    return 0 if by_policy["dynamic"].makespan_us < by_policy["fifo"].makespan_us else 1
+    by_policy = {r.policy: r for r in gang0}
+    ok = by_policy["dynamic"].makespan_us < by_policy["fifo"].makespan_us
+    for seed in SEEDS:
+        try:
+            _assert_continuous_dominates(*pairs[seed])
+        except AssertionError as exc:
+            print(f"continuous did not dominate gang: {exc}")
+            ok = False
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

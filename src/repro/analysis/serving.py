@@ -17,10 +17,11 @@ from repro.serve.metrics import ServeReport
 
 
 def serving_rows(reports: Sequence[ServeReport]) -> List[List[str]]:
-    """One comparison row per policy report."""
+    """One comparison row per (policy, mode) report."""
     return [
         [
             r.policy,
+            r.mode,
             str(r.num_requests),
             str(r.num_waves),
             f"{r.makespan_us:,.1f}us",
@@ -36,14 +37,19 @@ def serving_rows(reports: Sequence[ServeReport]) -> List[List[str]]:
 
 
 def render_serving_table(reports: Sequence[ServeReport]) -> str:
-    """A policy-comparison table for one served workload."""
+    """A policy-comparison table for one served workload.
+
+    Gang and continuous reports render side by side -- the ``Mode``
+    column tells them apart (continuous rows count admissions where gang
+    rows count waves).
+    """
     if not reports:
         raise ValueError("no serving reports to render")
     first = reports[0]
     return format_table(
         [
-            "Policy", "Reqs", "Waves", "Makespan", "p50", "p95", "p99",
-            "SLO miss", "Thr (r/s)", "Util",
+            "Policy", "Mode", "Reqs", "Waves", "Makespan", "p50", "p95",
+            "p99", "SLO miss", "Thr (r/s)", "Util",
         ],
         serving_rows(reports),
         title=(
@@ -55,16 +61,49 @@ def render_serving_table(reports: Sequence[ServeReport]) -> str:
 
 
 def serving_summary(reports: Sequence[ServeReport]) -> Dict:
-    """A JSON-ready summary: per-policy metrics plus headline ratios."""
-    by_policy = {r.policy: r.to_dict() for r in reports}
-    out: Dict = {"policies": by_policy}
-    fifo = next((r for r in reports if r.policy == "fifo"), None)
-    dyn = next((r for r in reports if r.policy == "dynamic"), None)
-    if fifo and dyn and dyn.makespan_us > 0:
-        out["dynamic_vs_fifo_makespan"] = fifo.makespan_us / dyn.makespan_us
-    sjf = next((r for r in reports if r.policy == "sjf"), None)
-    if fifo and sjf and sjf.p50_us > 0:
-        out["sjf_vs_fifo_p50"] = fifo.p50_us / sjf.p50_us
+    """A JSON-ready summary: per-policy metrics plus headline ratios.
+
+    Gang-only report sets produce the exact schema this function always
+    produced.  When continuous-mode reports are present they land in a
+    separate ``"continuous"`` section, with per-policy gang-vs-continuous
+    deltas (``"vs_gang"``) whenever the matching gang run is in the same
+    report set.
+    """
+    gang = [r for r in reports if r.mode == "gang"]
+    cont = [r for r in reports if r.mode == "continuous"]
+    out: Dict = {}
+    if gang or not cont:
+        out["policies"] = {r.policy: r.to_dict() for r in gang}
+        fifo = next((r for r in gang if r.policy == "fifo"), None)
+        dyn = next((r for r in gang if r.policy == "dynamic"), None)
+        if fifo and dyn and dyn.makespan_us > 0:
+            out["dynamic_vs_fifo_makespan"] = fifo.makespan_us / dyn.makespan_us
+        sjf = next((r for r in gang if r.policy == "sjf"), None)
+        if fifo and sjf and sjf.p50_us > 0:
+            out["sjf_vs_fifo_p50"] = fifo.p50_us / sjf.p50_us
+    if cont:
+        section: Dict = {"policies": {r.policy: r.to_dict() for r in cont}}
+        vs_gang: Dict = {}
+        for r in cont:
+            g = next(
+                (
+                    x
+                    for x in gang
+                    if x.policy == r.policy and x.seed == r.seed
+                ),
+                None,
+            )
+            if g is None or r.makespan_us <= 0:
+                continue
+            vs_gang[r.policy] = {
+                "makespan_speedup": g.makespan_us / r.makespan_us,
+                "p95_delta_us": g.p95_us - r.p95_us,
+                "mean_queue_delta_us": g.mean_queue_us - r.mean_queue_us,
+                "slo_miss_delta": g.slo_miss_rate - r.slo_miss_rate,
+            }
+        if vs_gang:
+            section["vs_gang"] = vs_gang
+        out["continuous"] = section
     return out
 
 

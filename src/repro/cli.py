@@ -351,21 +351,34 @@ def cmd_serve(args: argparse.Namespace) -> int:
         except ValueError as exc:
             raise SystemExit(str(exc)) from None
     policies = list(POLICY_NAMES) if args.policy == "all" else [args.policy]
-    reports = serve_policies(
-        models,
-        npu,
-        policies=policies,
-        rps=args.rps,
-        duration_us=duration_us,
-        seed=args.seed,
-        options=CONFIGS[args.config](),
-        slo_scale=args.slo_scale,
-        max_requests=args.requests,
-        faults=faults,
-        retry_limit=args.retry_limit,
-        backoff_us=args.backoff_us,
-        shed_slo=args.shed,
-    )
+    modes = ["gang", "continuous"] if args.mode == "both" else [args.mode]
+    options = CONFIGS[args.config]()
+    # One shared predictor across modes: compiles and isolated
+    # simulations are paid once, the runs differ only in scheduling.
+    from repro.serve import LatencyPredictor
+
+    predictor = LatencyPredictor(npu, options, seed=args.seed)
+    reports = []
+    for mode in modes:
+        reports.extend(
+            serve_policies(
+                models,
+                npu,
+                policies=policies,
+                rps=args.rps,
+                duration_us=duration_us,
+                seed=args.seed,
+                options=options,
+                slo_scale=args.slo_scale,
+                max_requests=args.requests,
+                faults=faults,
+                retry_limit=args.retry_limit,
+                backoff_us=args.backoff_us,
+                shed_slo=args.shed,
+                predictor=predictor,
+                mode=mode,
+            )
+        )
 
     if args.json:
         print(json.dumps([r.to_dict() for r in reports], indent=2))
@@ -535,6 +548,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--policy", choices=["fifo", "sjf", "dynamic", "all"], default="all",
         help="scheduling policy, or 'all' to compare (default)",
+    )
+    p.add_argument(
+        "--mode", choices=["gang", "continuous", "both"], default="gang",
+        help="admission discipline: 'gang' starts requests in waves and "
+        "waits for each wave to drain (default); 'continuous' backfills "
+        "cores the moment they free up (work-conserving, lower queueing "
+        "delay under backlog); 'both' runs and compares the two",
     )
     p.add_argument(
         "--rps", type=float, default=800.0,

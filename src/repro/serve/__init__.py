@@ -6,8 +6,11 @@ must decide which ones run when, on which cores.  See
 :mod:`repro.serve.server` for the execution model.
 """
 
+from repro.serve.continuous import serve_continuous, serve_degraded_continuous
 from repro.serve.degraded import serve_degraded
 from repro.serve.metrics import (
+    AdmissionRecord,
+    ContinuousStats,
     DegradedStats,
     ServeReport,
     ShedRecord,
@@ -19,9 +22,11 @@ from repro.serve.policies import (
     DynamicPolicy,
     FifoPolicy,
     POLICY_NAMES,
+    PolicyError,
     SchedulingPolicy,
     SjfPolicy,
     get_policy,
+    validate_assignments,
 )
 from repro.serve.predictor import LatencyPredictor, resolve_graph
 from repro.serve.request import (
@@ -33,13 +38,16 @@ from repro.serve.request import (
 from repro.serve.server import serve, serve_policies
 
 __all__ = [
+    "AdmissionRecord",
     "Assignment",
+    "ContinuousStats",
     "DegradedStats",
     "DynamicPolicy",
     "FifoPolicy",
     "LatencyPredictor",
     "MixEntry",
     "POLICY_NAMES",
+    "PolicyError",
     "Request",
     "RequestResult",
     "SchedulingPolicy",
@@ -52,6 +60,9 @@ __all__ = [
     "percentile",
     "resolve_graph",
     "serve",
+    "serve_continuous",
     "serve_degraded",
+    "serve_degraded_continuous",
     "serve_policies",
+    "validate_assignments",
 ]

@@ -1,0 +1,621 @@
+"""Continuous, work-conserving serving on a shared simulation timeline.
+
+The gang-scheduled loop in :mod:`repro.serve.server` advances its clock
+wave by wave: every core group idles until the slowest request of the
+wave drains.  This module replaces the barrier with *backfill
+admission*: requests are injected onto a
+:class:`~repro.sim.session.SimSession` the moment a core group frees
+up, while everything admitted earlier keeps running and contends for
+the bus.  The policy hook is :meth:`SchedulingPolicy.admit`, called
+with the currently-free cores whenever there is queued work to place.
+
+Work conservation is measured, not asserted: the report's
+:class:`~repro.serve.metrics.ContinuousStats` section carries the full
+admission trace, per-core idle time, and ``policy_stall_us`` -- the
+total time cores sat free while admissible work was queued, which the
+shipped policies keep at exactly zero.
+
+``wave_barrier=True`` restricts admission to instants when the machine
+is fully idle and delegates to the policy's wave ``plan`` -- gang
+scheduling re-expressed on the session.  Because a clean session resets
+its local clock on every idle period, that mode reproduces the gang
+server's reports field-for-field (pinned by
+``tests/serve/test_continuous.py``), which is the correctness anchor
+for the shared-timeline engine underneath.
+
+Fault plans compose: :func:`serve_degraded_continuous` runs the same
+backfill loop on a fault-armed session (stalls, DVFS heat on the one
+continuous clock, core-offline dooming in-flight programs), with the
+retry/backoff/shed reactions of :mod:`repro.serve.degraded` applied per
+failed *injection* instead of per failed wave.  The no-silent-drop
+invariant is unchanged: every generated request ends served or shed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.compiler.cache import ProgramCache
+from repro.compiler.options import CompileOptions
+from repro.faults.plan import FaultPlan
+from repro.hw.config import NPUConfig
+from repro.serve.metrics import (
+    AdmissionRecord,
+    ContinuousStats,
+    DegradedStats,
+    ServeReport,
+    ShedRecord,
+    build_report,
+    results_sorted,
+)
+from repro.serve.policies import (
+    PolicyError,
+    SchedulingPolicy,
+    get_policy,
+    validate_assignments,
+)
+from repro.serve.predictor import LatencyPredictor
+from repro.serve.request import MixEntry, Request, RequestResult, generate_requests
+from repro.sim.multitenant import tenant_spans
+from repro.sim.session import InjectionOutcome, SimSession
+
+_EPS = 1e-9
+
+
+@dataclasses.dataclass
+class _InFlight:
+    """Bookkeeping for one injected request (or one barrier wave)."""
+
+    index: int
+    request: Optional[Request]
+    cores: Tuple[int, ...]
+    admitted_us: float
+    #: barrier mode only: the full wave's (request, cores) assignment.
+    assignments: Optional[List[Tuple[Request, Tuple[int, ...]]]] = None
+
+
+def _span_us(
+    out: InjectionOutcome, npu: NPUConfig
+) -> Tuple[float, float]:
+    """Absolute (start, finish) of an injection's completed commands."""
+    events = out.trace.events
+    if not events:
+        return out.origin_us, out.origin_us
+    return (
+        out.origin_us + npu.cycles_to_us(events[0].start),
+        out.origin_us + npu.cycles_to_us(out.trace.makespan),
+    )
+
+
+def _idle_per_core(
+    occupancy: Sequence[List[Tuple[float, float]]], makespan_us: float
+) -> Tuple[float, ...]:
+    """Per-core time not covered by any admission, over the makespan."""
+    idle = []
+    for intervals in occupancy:
+        covered = 0.0
+        last_end = 0.0
+        for start, end in sorted(intervals):
+            start = max(start, last_end)
+            end = min(end, makespan_us)
+            if end > start:
+                covered += end - start
+                last_end = end
+            last_end = max(last_end, min(end, makespan_us), start)
+        idle.append(max(0.0, makespan_us - covered))
+    return tuple(idle)
+
+
+def _continuous_stats(
+    admissions: Sequence[AdmissionRecord],
+    policy_stall_us: float,
+    occupancy: Sequence[List[Tuple[float, float]]],
+    makespan_us: float,
+) -> ContinuousStats:
+    backfills = [a.backfill_us for a in admissions]
+    return ContinuousStats(
+        num_admissions=len(admissions),
+        policy_stall_us=policy_stall_us,
+        core_idle_us=_idle_per_core(occupancy, makespan_us),
+        mean_backfill_us=sum(backfills) / len(backfills) if backfills else 0.0,
+        max_backfill_us=max(backfills) if backfills else 0.0,
+        admissions=tuple(admissions),
+    )
+
+
+def serve_continuous(
+    models: Sequence[MixEntry],
+    npu: NPUConfig,
+    policy: Union[str, SchedulingPolicy] = "fifo",
+    rps: float = 800.0,
+    duration_us: float = 20_000.0,
+    seed: int = 0,
+    options: Optional[CompileOptions] = None,
+    slo_scale: float = 5.0,
+    max_requests: int = 0,
+    predictor: Optional[LatencyPredictor] = None,
+    cache: Optional[ProgramCache] = None,
+    wave_barrier: bool = False,
+) -> ServeReport:
+    """Serve one workload with continuous (backfill) admission.
+
+    Same workload contract as :func:`repro.serve.server.serve`; the
+    difference is purely when requests start.  ``wave_barrier=True`` is
+    the equivalence mode: admission only at full-machine idle, through
+    the policy's wave ``plan`` -- it reproduces the gang server's report
+    field-for-field and exists for tests (its report carries no
+    continuous section, exactly like a gang report).
+    """
+    if isinstance(policy, str):
+        policy = get_policy(policy)
+    if predictor is None:
+        predictor = LatencyPredictor(npu, options, cache=cache, seed=seed)
+
+    slo_of = None
+    if slo_scale > 0:
+        slo_of = lambda m: slo_scale * predictor.predicted_latency_us(m)  # noqa: E731
+    requests = generate_requests(
+        models,
+        rps=rps,
+        duration_us=duration_us,
+        seed=seed,
+        max_requests=max_requests,
+        slo_of=slo_of,
+    )
+
+    num_cores = npu.num_cores
+    session = SimSession(npu)
+    pending = deque(requests)
+    queue: List[Request] = []
+    results: List[RequestResult] = []
+    in_flight: Dict[int, _InFlight] = {}
+    busy_cycles = [0.0] * num_cores
+    patterns_used: set = set()
+    free: List[int] = list(range(num_cores))
+    free_since = [0.0] * num_cores
+    occupancy: List[List[Tuple[float, float]]] = [[] for _ in range(num_cores)]
+    admission_records: List[AdmissionRecord] = []
+    policy_stall_us = 0.0
+    clock = 0.0
+    makespan_us = 0.0
+    admission_index = 0
+
+    def retire(out: InjectionOutcome) -> None:
+        nonlocal makespan_us
+        info = in_flight.pop(out.injection_id)
+        for core in range(num_cores):
+            busy_cycles[core] += out.trace.busy_time(core)
+        if info.assignments is not None:  # barrier mode: one whole wave
+            spans = tenant_spans(
+                out.trace, [f"s{s}" for s in range(len(info.assignments))]
+            )
+            for slot, (request, cores) in enumerate(info.assignments):
+                start_cy, end_cy = spans.get(f"s{slot}", (0.0, 0.0))
+                finish_us = out.origin_us + npu.cycles_to_us(end_cy)
+                results.append(
+                    RequestResult(
+                        request=request,
+                        start_us=out.origin_us + npu.cycles_to_us(start_cy),
+                        finish_us=finish_us,
+                        cores=cores,
+                        wave=info.index,
+                    )
+                )
+                makespan_us = max(makespan_us, finish_us)
+            free[:] = range(num_cores)
+            return
+        assert info.request is not None
+        start_us, finish_us = _span_us(out, npu)
+        results.append(
+            RequestResult(
+                request=info.request,
+                start_us=start_us,
+                finish_us=finish_us,
+                cores=info.cores,
+                wave=info.index,
+            )
+        )
+        makespan_us = max(makespan_us, finish_us)
+        for c in info.cores:
+            free.append(c)
+            free_since[c] = finish_us
+            occupancy[c].append((info.admitted_us, finish_us))
+        free.sort()
+
+    while pending or queue or in_flight:
+        if not queue and not in_flight:
+            clock = max(clock, pending[0].arrival_us)
+        while pending and pending[0].arrival_us <= clock + _EPS:
+            queue.append(pending.popleft())
+
+        admitted = False
+        if queue and free:
+            if wave_barrier:
+                # Gang semantics: admit only with the machine fully idle.
+                if len(free) == num_cores:
+                    assignments = policy.plan(queue, npu, predictor)
+                    validate_assignments(policy, assignments, queue, npu)
+                    pattern = tuple((r.model, c) for r, c in assignments)
+                    merged = predictor.merged_for(pattern)
+                    patterns_used.add(pattern)
+                    iid = session.inject(
+                        merged,
+                        at_us=clock,
+                        seed=seed + admission_index,
+                        label=f"w{admission_index}",
+                    )
+                    in_flight[iid] = _InFlight(
+                        admission_index, None, (), clock,
+                        assignments=list(assignments),
+                    )
+                    for request, _ in assignments:
+                        queue.remove(request)
+                    free.clear()
+                    admission_index += 1
+                    admitted = True
+            else:
+                free_t = tuple(free)
+                admissions = policy.admit(queue, npu, predictor, free_cores=free_t)
+                validate_assignments(
+                    policy, admissions, queue, npu,
+                    allowed_cores=free_t, allow_empty=True,
+                )
+                for request, cores in admissions:
+                    pattern = ((request.model, cores),)
+                    merged = predictor.merged_for(pattern)
+                    patterns_used.add(pattern)
+                    iid = session.inject(
+                        merged,
+                        at_us=clock,
+                        seed=seed + admission_index,
+                        label=f"a{admission_index}",
+                    )
+                    in_flight[iid] = _InFlight(
+                        admission_index, request, cores, clock
+                    )
+                    queue.remove(request)
+                    admission_records.append(
+                        AdmissionRecord(
+                            rid=request.rid,
+                            t_us=clock,
+                            cores=cores,
+                            queue_len=len(queue) + 1,
+                            free_cores=free_t,
+                            backfill_us=clock - min(free_since[c] for c in cores),
+                        )
+                    )
+                    for c in cores:
+                        free.remove(c)
+                    admission_index += 1
+                admitted = bool(admissions)
+        if admitted:
+            continue
+
+        if in_flight:
+            # Nothing admissible right now: advance to the next
+            # completion (or the next arrival, which may unblock work).
+            stalled = bool(queue) and bool(free) and not wave_barrier
+            t_prev = clock
+            t_arr = None
+            if pending and not wave_barrier:
+                t_arr = pending[0].arrival_us
+            outcomes = session.run_until(t_arr)
+            if outcomes:
+                clock = session.now_us
+            elif t_arr is not None:
+                clock = max(clock, t_arr)
+            if stalled:
+                policy_stall_us += max(0.0, clock - t_prev)
+            for out in outcomes:
+                retire(out)
+        elif queue:
+            raise PolicyError(
+                f"policy {policy.name!r} admitted nothing with every core "
+                f"free, no work in flight, and {len(queue)} request(s) "
+                "queued: the serving loop cannot make progress"
+            )
+        # else: queue empty, work only in pending -- the loop top jumps
+        # the clock to the next arrival.
+
+    continuous = None
+    if not wave_barrier:
+        continuous = _continuous_stats(
+            admission_records, policy_stall_us, occupancy, makespan_us
+        )
+    return build_report(
+        policy=policy.name,
+        machine=npu.name,
+        models=[m if isinstance(m, str) else m[0] for m in models],
+        seed=seed,
+        rps=rps,
+        duration_us=duration_us,
+        results=results_sorted(results),
+        num_waves=admission_index,
+        busy_cycles=busy_cycles,
+        makespan_cycles=npu.us_to_cycles(makespan_us),
+        latency_us_per_cycle=npu.cycles_to_us(1.0),
+        verified_programs=len(patterns_used),
+        continuous=continuous,
+    )
+
+
+def serve_degraded_continuous(
+    models: Sequence[MixEntry],
+    npu: NPUConfig,
+    faults: FaultPlan,
+    policy: Union[str, SchedulingPolicy] = "fifo",
+    rps: float = 800.0,
+    duration_us: float = 20_000.0,
+    seed: int = 0,
+    options: Optional[CompileOptions] = None,
+    slo_scale: float = 5.0,
+    max_requests: int = 0,
+    predictor: Optional[LatencyPredictor] = None,
+    cache: Optional[ProgramCache] = None,
+    retry_limit: int = 3,
+    backoff_us: float = 200.0,
+    shed_slo: bool = False,
+) -> ServeReport:
+    """Continuous admission under an active fault plan.
+
+    The session carries stalls, DVFS heat, and core-offline events on
+    one continuous clock (no per-wave heat hand-off needed -- idle gaps
+    cool cores inside the session itself).  A failed injection triggers
+    the same reactions as a failed gang wave: exponential-backoff retry
+    up to ``retry_limit`` executions, then an explicit shed; with
+    ``shed_slo``, hopelessly late queued requests are shed at admission
+    time.  Every generated request ends served or shed.
+    """
+    if faults.is_empty:
+        raise ValueError("serve_degraded_continuous needs a non-empty fault plan")
+    if retry_limit < 1:
+        raise ValueError("retry_limit must be >= 1")
+    if backoff_us < 0:
+        raise ValueError("backoff_us must be >= 0")
+    if isinstance(policy, str):
+        policy = get_policy(policy)
+    if predictor is None:
+        predictor = LatencyPredictor(npu, options, cache=cache, seed=seed)
+
+    slo_of = None
+    if slo_scale > 0:
+        slo_of = lambda m: slo_scale * predictor.predicted_latency_us(m)  # noqa: E731
+    requests = generate_requests(
+        models,
+        rps=rps,
+        duration_us=duration_us,
+        seed=seed,
+        max_requests=max_requests,
+        slo_of=slo_of,
+    )
+
+    num_cores = npu.num_cores
+    session = SimSession(npu, faults=faults)
+    pending = deque(requests)
+    queue: List[Request] = []
+    results: List[RequestResult] = []
+    shed: List[ShedRecord] = []
+    attempts: Dict[int, int] = {}
+    #: earliest serving time a failed request may be re-admitted.
+    eligible_us: Dict[int, float] = {}
+    in_flight: Dict[int, _InFlight] = {}
+    busy_cycles = [0.0] * num_cores
+    patterns_used: set = set()
+    free = [c for c in range(num_cores) if c not in faults.dead_cores_at(0.0)]
+    free_since = [0.0] * num_cores
+    occupancy: List[List[Tuple[float, float]]] = [[] for _ in range(num_cores)]
+    admission_records: List[AdmissionRecord] = []
+    policy_stall_us = 0.0
+    clock = 0.0
+    makespan_us = 0.0
+    admission_index = 0
+    num_retries = 0
+    num_failed = 0
+
+    def retire(out: InjectionOutcome) -> None:
+        nonlocal makespan_us, num_retries, num_failed
+        info = in_flight.pop(out.injection_id)
+        assert info.request is not None
+        request = info.request
+        for core in range(num_cores):
+            busy_cycles[core] += out.trace.busy_time(core)
+        done_us = out.origin_us + npu.cycles_to_us(out.completed_at_cycles)
+        # Cores return to the pool only while they are still alive.
+        returned = False
+        for c in info.cores:
+            if not session.dead[c]:
+                free.append(c)
+                free_since[c] = done_us
+                returned = True
+        if returned:
+            free.sort()
+        occupancy_end = done_us
+        if out.failed:
+            num_failed += 1
+            n = attempts[request.rid]
+            if n >= retry_limit:
+                shed.append(
+                    ShedRecord(request, shed_us=done_us, reason="retries")
+                )
+            else:
+                num_retries += 1
+                eligible_us[request.rid] = done_us + backoff_us * (2 ** (n - 1))
+                queue.append(request)
+        else:
+            start_us, finish_us = _span_us(out, npu)
+            results.append(
+                RequestResult(
+                    request=request,
+                    start_us=start_us,
+                    finish_us=finish_us,
+                    cores=info.cores,
+                    wave=info.index,
+                    attempts=attempts[request.rid],
+                )
+            )
+            makespan_us = max(makespan_us, finish_us)
+            occupancy_end = finish_us
+        for c in info.cores:
+            occupancy[c].append((info.admitted_us, occupancy_end))
+
+    while pending or queue or in_flight:
+        if not in_flight:
+            horizons = [eligible_us.get(r.rid, 0.0) for r in queue]
+            if pending:
+                horizons.append(pending[0].arrival_us)
+            if horizons:
+                clock = max(clock, min(horizons))
+        while pending and pending[0].arrival_us <= clock + _EPS:
+            queue.append(pending.popleft())
+
+        dead_now = set(faults.dead_cores_at(clock))
+        if len(dead_now) >= num_cores:
+            # Offline cores never come back: drain what is in flight
+            # (it is doomed) and shed everything else.
+            for out in session.run_until(None, stop_on_completion=False):
+                info = in_flight.pop(out.injection_id)
+                assert info.request is not None
+                for core in range(num_cores):
+                    busy_cycles[core] += out.trace.busy_time(core)
+                shed.append(
+                    ShedRecord(
+                        info.request,
+                        shed_us=out.origin_us
+                        + npu.cycles_to_us(out.completed_at_cycles),
+                        reason="no-cores",
+                    )
+                )
+            clock = max(clock, session.now_us)
+            for r in queue:
+                shed.append(ShedRecord(r, shed_us=clock, reason="no-cores"))
+            for r in pending:
+                shed.append(
+                    ShedRecord(r, shed_us=max(clock, r.arrival_us), reason="no-cores")
+                )
+            queue.clear()
+            pending.clear()
+            break
+        if dead_now:
+            for c in list(free):
+                if c in dead_now:
+                    free.remove(c)
+
+        if shed_slo:
+            hopeless = [
+                r
+                for r in queue
+                if r.slo_us > 0 and clock - r.arrival_us > r.slo_us + _EPS
+            ]
+            for r in hopeless:
+                queue.remove(r)
+                shed.append(ShedRecord(r, shed_us=clock, reason="slo"))
+
+        ready = [
+            r for r in queue if eligible_us.get(r.rid, 0.0) <= clock + _EPS
+        ]
+        admitted = False
+        if ready and free:
+            free_t = tuple(free)
+            admissions = policy.admit(ready, npu, predictor, free_cores=free_t)
+            validate_assignments(
+                policy, admissions, ready, npu,
+                allowed_cores=free_t, allow_empty=True,
+            )
+            for request, cores in admissions:
+                pattern = ((request.model, cores),)
+                merged = predictor.merged_for(pattern)
+                patterns_used.add(pattern)
+                iid = session.inject(
+                    merged,
+                    at_us=clock,
+                    seed=seed + admission_index,
+                    label=f"a{admission_index}",
+                )
+                attempts[request.rid] = attempts.get(request.rid, 0) + 1
+                in_flight[iid] = _InFlight(admission_index, request, cores, clock)
+                queue.remove(request)
+                admission_records.append(
+                    AdmissionRecord(
+                        rid=request.rid,
+                        t_us=clock,
+                        cores=cores,
+                        queue_len=len(queue) + 1,
+                        free_cores=free_t,
+                        backfill_us=clock - min(free_since[c] for c in cores),
+                    )
+                )
+                for c in cores:
+                    free.remove(c)
+                admission_index += 1
+            admitted = bool(admissions)
+        if admitted:
+            continue
+
+        horizons = []
+        if pending:
+            horizons.append(pending[0].arrival_us)
+        waiting = [
+            eligible_us[r.rid]
+            for r in queue
+            if eligible_us.get(r.rid, 0.0) > clock + _EPS
+        ]
+        if waiting:
+            horizons.append(min(waiting))
+        if in_flight:
+            stalled = bool(ready) and bool(free)
+            t_prev = clock
+            t_arr = min(horizons) if horizons else None
+            outcomes = session.run_until(t_arr)
+            if outcomes:
+                clock = session.now_us
+            elif t_arr is not None:
+                clock = max(clock, t_arr)
+            if stalled:
+                policy_stall_us += max(0.0, clock - t_prev)
+            for out in outcomes:
+                retire(out)
+        elif ready and free:
+            raise PolicyError(
+                f"policy {policy.name!r} admitted nothing with cores "
+                f"{tuple(free)} free, no work in flight, and {len(ready)} "
+                "admissible request(s) queued: the serving loop cannot "
+                "make progress"
+            )
+        elif horizons and min(horizons) > clock:
+            clock = min(horizons)
+        elif not queue and not pending:
+            break
+
+    total_busy = sum(session.busy_cycles)
+    throttled_busy = sum(session.throttled_cycles)
+    degraded = DegradedStats(
+        faults=faults.describe(),
+        num_retries=num_retries,
+        num_failed_waves=num_failed,
+        num_shed=len(shed),
+        shed_rate=len(shed) / len(requests) if requests else 0.0,
+        dead_cores=faults.dead_cores_at(max(clock, makespan_us)),
+        throttled_fraction=(throttled_busy / total_busy) if total_busy > 0 else 0.0,
+        stall_cycles=session.stall_cycles,
+    )
+    return build_report(
+        policy=policy.name,
+        machine=npu.name,
+        models=[m if isinstance(m, str) else m[0] for m in models],
+        seed=seed,
+        rps=rps,
+        duration_us=duration_us,
+        results=results_sorted(results),
+        num_waves=admission_index,
+        busy_cycles=busy_cycles,
+        makespan_cycles=npu.us_to_cycles(makespan_us),
+        latency_us_per_cycle=npu.cycles_to_us(1.0),
+        verified_programs=len(patterns_used),
+        degraded=degraded,
+        shed=tuple(sorted(shed, key=lambda s: s.request.rid)),
+        continuous=_continuous_stats(
+            admission_records, policy_stall_us, occupancy, makespan_us
+        ),
+    )

@@ -46,7 +46,11 @@ from repro.serve.metrics import (
     build_report,
     results_sorted,
 )
-from repro.serve.policies import SchedulingPolicy, get_policy
+from repro.serve.policies import (
+    SchedulingPolicy,
+    get_policy,
+    validate_assignments,
+)
 from repro.serve.predictor import LatencyPredictor
 from repro.serve.request import MixEntry, Request, RequestResult, generate_requests
 from repro.sim.multitenant import tenant_spans
@@ -79,7 +83,7 @@ def serve_degraded(
     attempt.  ``shed_slo`` enables SLO-aware load shedding.  The report
     carries a :class:`~repro.serve.metrics.DegradedStats` section.
     """
-    from repro.serve.server import _check_assignments, _slot_name
+    from repro.serve.server import _slot_name
 
     if faults.is_empty:
         raise ValueError("serve_degraded needs a non-empty fault plan")
@@ -163,7 +167,7 @@ def serve_degraded(
             continue  # the clock advance above guarantees progress
 
         assignments = policy.plan(ready, npu, predictor, cores=alive)
-        _check_assignments(assignments, ready, npu)
+        validate_assignments(policy, assignments, ready, npu)
         for request, _ in assignments:
             queue.remove(request)
             attempts[request.rid] = attempts.get(request.rid, 0) + 1

@@ -20,6 +20,16 @@ which defaults to the whole machine.  Degraded-mode serving
 policy transparently recompiles and repacks onto whatever the fault
 injector left alive -- the recompile itself is absorbed by the
 fingerprint-keyed program cache, which already keys by core group.
+
+Continuous-mode serving (:mod:`repro.serve.continuous`) calls
+:meth:`SchedulingPolicy.admit` instead of :meth:`~SchedulingPolicy.plan`
+whenever a core group frees up: the policy sees only the *free* cores
+and decides, incrementally, what to start on them right now.  The base
+implementation delegates to ``plan`` over the free set, so any custom
+wave policy works in continuous mode unchanged; fifo and sjf override
+it to split the free cores across multiple queued requests (keeping
+their ordering discipline) because under backlog several narrow groups
+serve a queue faster than one wide one on sublinearly-scaling cores.
 """
 
 from __future__ import annotations
@@ -34,8 +44,33 @@ from repro.serve.request import Request
 Assignment = List[Tuple[Request, Tuple[int, ...]]]
 
 
+class PolicyError(RuntimeError):
+    """A scheduling policy returned an invalid or impossible plan."""
+
+
+def _even_split(
+    ordered: Sequence[Request], free_cores: Tuple[int, ...]
+) -> Assignment:
+    """Split ``free_cores`` into contiguous runs over the first requests.
+
+    The first ``min(len(ordered), len(free_cores))`` requests each get a
+    contiguous slice of the free-core list; leftover cores go to the
+    earlier (higher-priority) requests, one extra each.
+    """
+    k = min(len(ordered), len(free_cores))
+    base, extra = divmod(len(free_cores), k)
+    out: Assignment = []
+    i = 0
+    for j in range(k):
+        size = base + (1 if j < extra else 0)
+        out.append((ordered[j], tuple(free_cores[i:i + size])))
+        i += size
+    return out
+
+
 class SchedulingPolicy:
-    """Base class; subclasses override :meth:`plan`."""
+    """Base class; subclasses override :meth:`plan` (and optionally
+    :meth:`admit` for continuous-mode backfill behavior)."""
 
     name = "?"
 
@@ -55,6 +90,25 @@ class SchedulingPolicy:
         """
         raise NotImplementedError
 
+    def admit(
+        self,
+        queue: Sequence[Request],
+        npu: NPUConfig,
+        predictor: LatencyPredictor,
+        free_cores: Tuple[int, ...],
+    ) -> Assignment:
+        """Incremental admission onto the currently-free cores.
+
+        Called by the continuous server whenever ``free_cores`` (sorted,
+        non-empty) sit idle and ``queue`` is non-empty; other core
+        groups may still be running.  Returns assignments confined to
+        ``free_cores`` (an empty list declines to admit -- the engine
+        records that as policy stall time).  The default delegates to
+        :meth:`plan` over the free set, which keeps custom wave policies
+        working in continuous mode without changes.
+        """
+        return self.plan(queue, npu, predictor, cores=free_cores)
+
 
 class FifoPolicy(SchedulingPolicy):
     """First come, first served; every request gets all available cores."""
@@ -69,6 +123,16 @@ class FifoPolicy(SchedulingPolicy):
         cores: Optional[Tuple[int, ...]] = None,
     ) -> Assignment:
         return [(queue[0], cores or predictor.all_cores)]
+
+    def admit(
+        self,
+        queue: Sequence[Request],
+        npu: NPUConfig,
+        predictor: LatencyPredictor,
+        free_cores: Tuple[int, ...],
+    ) -> Assignment:
+        """Backfill in arrival order, splitting the free cores evenly."""
+        return _even_split(queue, free_cores)
 
 
 class SjfPolicy(SchedulingPolicy):
@@ -94,6 +158,26 @@ class SjfPolicy(SchedulingPolicy):
             key=lambda r: (predictor.predicted_latency_us(r.model, cores), r.rid),
         )
         return [(best, cores)]
+
+    def admit(
+        self,
+        queue: Sequence[Request],
+        npu: NPUConfig,
+        predictor: LatencyPredictor,
+        free_cores: Tuple[int, ...],
+    ) -> Assignment:
+        """Backfill shortest-first, splitting the free cores evenly.
+
+        Ordering uses the whole-machine predicted latency as the work
+        proxy (one cached simulation per distinct model, the same proxy
+        :meth:`DynamicPolicy._pack` uses), so the ranking is stable no
+        matter which cores happen to be free.
+        """
+        ordered = sorted(
+            queue,
+            key=lambda r: (predictor.predicted_latency_us(r.model), r.rid),
+        )
+        return _even_split(ordered, free_cores)
 
 
 class DynamicPolicy(SchedulingPolicy):
@@ -192,3 +276,66 @@ def get_policy(name: str) -> SchedulingPolicy:
         raise ValueError(
             f"unknown policy {name!r}; one of {sorted(_POLICIES)}"
         ) from None
+
+
+def validate_assignments(
+    policy: SchedulingPolicy,
+    assignments: Sequence[Tuple[Request, Tuple[int, ...]]],
+    queue: Sequence[Request],
+    npu: NPUConfig,
+    allowed_cores: Optional[Tuple[int, ...]] = None,
+    allow_empty: bool = False,
+) -> None:
+    """Guard rails for (possibly user-supplied) policies.
+
+    An empty plan over a non-empty queue is rejected by name -- the
+    serving loops would otherwise spin forever on a policy that never
+    schedules anything.  Continuous-mode admission passes
+    ``allow_empty=True`` (declining to backfill is legal there, the
+    engine accounts it as policy stall time) and ``allowed_cores`` (the
+    free set admissions must stay within).
+    """
+    if not assignments:
+        if allow_empty:
+            return
+        raise PolicyError(
+            f"policy {policy.name!r} returned an empty wave for a "
+            f"non-empty queue ({len(queue)} request(s) waiting)"
+        )
+    queued = {r.rid for r in queue}
+    allowed = set(allowed_cores) if allowed_cores is not None else None
+    used: set = set()
+    scheduled: set = set()
+    for request, cores in assignments:
+        if request.rid not in queued:
+            raise PolicyError(
+                f"policy {policy.name!r} scheduled request {request.rid}, "
+                "which is not queued"
+            )
+        if request.rid in scheduled:
+            raise PolicyError(
+                f"policy {policy.name!r} scheduled request {request.rid} twice"
+            )
+        scheduled.add(request.rid)
+        if not cores:
+            raise PolicyError(
+                f"policy {policy.name!r}: request {request.rid} got an "
+                "empty core group"
+            )
+        for c in cores:
+            if not 0 <= c < npu.num_cores:
+                raise PolicyError(
+                    f"policy {policy.name!r}: request {request.rid} uses "
+                    f"core {c}, out of range"
+                )
+            if allowed is not None and c not in allowed:
+                raise PolicyError(
+                    f"policy {policy.name!r}: request {request.rid} uses "
+                    f"core {c}, which is not free"
+                )
+            if c in used:
+                raise PolicyError(
+                    f"policy {policy.name!r}: core {c} assigned to two "
+                    "requests at once"
+                )
+            used.add(c)

@@ -14,22 +14,31 @@ functions of the queue and the (cached) latency predictions, and each
 wave simulates with a seed derived from (server seed, wave index).
 Running the same workload twice produces identical reports.
 
-Modeling note: waves are gang-scheduled -- the next wave starts when the
-current one fully drains.  Admission is therefore conservative; the
-queueing delays reported are an upper bound relative to a runtime that
-backfills cores the moment they free up.
+Modeling note: waves are gang-scheduled by default -- the next wave
+starts when the current one fully drains.  Admission is therefore
+conservative; the queueing delays reported are an upper bound relative
+to a runtime that backfills cores the moment they free up.  Passing
+``mode="continuous"`` routes to exactly that runtime
+(:mod:`repro.serve.continuous`): backfill admission on a shared
+:class:`~repro.sim.session.SimSession` timeline, where in-flight
+requests keep running while freed cores take new work.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, List, Optional, Sequence, Union
 
 from repro.compiler.cache import ProgramCache
 from repro.compiler.options import CompileOptions
 from repro.hw.config import NPUConfig
 from repro.serve.metrics import ServeReport, build_report, results_sorted
-from repro.serve.policies import POLICY_NAMES, SchedulingPolicy, get_policy
+from repro.serve.policies import (
+    POLICY_NAMES,
+    SchedulingPolicy,
+    get_policy,
+    validate_assignments,
+)
 from repro.serve.predictor import LatencyPredictor
 from repro.serve.request import (
     MixEntry,
@@ -66,6 +75,7 @@ def serve(
     retry_limit: int = 3,
     backoff_us: float = 200.0,
     shed_slo: bool = False,
+    mode: str = "gang",
 ) -> ServeReport:
     """Serve one generated workload under one policy.
 
@@ -74,14 +84,53 @@ def serve(
     shared ``predictor`` (or ``cache``) lets several policy runs reuse
     compilations and isolated simulations.
 
-    A non-empty ``faults`` plan routes to the degraded-mode loop
-    (:func:`repro.serve.degraded.serve_degraded`), which retries failed
-    waves (``retry_limit`` executions max, exponential ``backoff_us``),
-    recompiles onto surviving cores, and -- with ``shed_slo`` -- sheds
-    hopeless requests.  An empty or absent plan takes the clean path
-    below, untouched, so fault-free reports stay byte-identical.
+    ``mode`` selects the admission discipline: ``"gang"`` (the default,
+    the loop below) starts requests in waves and waits for each wave to
+    drain; ``"continuous"`` backfills cores the moment they free up via
+    :func:`repro.serve.continuous.serve_continuous`, which is
+    work-conserving and strictly kinder to queue times under backlog.
+
+    A non-empty ``faults`` plan routes to the degraded-mode loop for the
+    chosen mode (:func:`repro.serve.degraded.serve_degraded` or
+    :func:`repro.serve.continuous.serve_degraded_continuous`), which
+    retries failed waves (``retry_limit`` executions max, exponential
+    ``backoff_us``), recompiles onto surviving cores, and -- with
+    ``shed_slo`` -- sheds hopeless requests.  An empty or absent plan
+    takes the clean path, untouched, so fault-free gang reports stay
+    byte-identical.
     """
-    if faults is not None and not faults.is_empty:
+    if mode not in ("gang", "continuous"):
+        raise ValueError(f"unknown serving mode {mode!r}; 'gang' or 'continuous'")
+    have_faults = faults is not None and not faults.is_empty
+    if mode == "continuous":
+        from repro.serve.continuous import (
+            serve_continuous,
+            serve_degraded_continuous,
+        )
+
+        common = dict(
+            policy=policy,
+            rps=rps,
+            duration_us=duration_us,
+            seed=seed,
+            options=options,
+            slo_scale=slo_scale,
+            max_requests=max_requests,
+            predictor=predictor,
+            cache=cache,
+        )
+        if have_faults:
+            return serve_degraded_continuous(
+                models,
+                npu,
+                faults,
+                retry_limit=retry_limit,
+                backoff_us=backoff_us,
+                shed_slo=shed_slo,
+                **common,
+            )
+        return serve_continuous(models, npu, **common)
+    if have_faults:
         from repro.serve.degraded import serve_degraded
 
         return serve_degraded(
@@ -134,7 +183,7 @@ def serve(
             queue.append(pending.popleft())
 
         assignments = policy.plan(queue, npu, predictor)
-        _check_assignments(assignments, queue, npu)
+        validate_assignments(policy, assignments, queue, npu)
         for request, _ in assignments:
             queue.remove(request)
 
@@ -209,30 +258,3 @@ def serve_policies(
         serve(models, npu, policy=p, predictor=predictor, **kwargs)
         for p in policies
     ]
-
-
-def _check_assignments(
-    assignments: Sequence[Tuple[Request, Tuple[int, ...]]],
-    queue: Sequence[Request],
-    npu: NPUConfig,
-) -> None:
-    """Guard rails for (possibly user-supplied) policies."""
-    if not assignments:
-        raise RuntimeError("policy returned an empty wave for a non-empty queue")
-    queued = {r.rid for r in queue}
-    used: set = set()
-    for request, cores in assignments:
-        if request.rid not in queued:
-            raise RuntimeError(
-                f"policy scheduled request {request.rid}, which is not queued"
-            )
-        if not cores:
-            raise RuntimeError(f"request {request.rid}: empty core group")
-        for c in cores:
-            if not 0 <= c < npu.num_cores:
-                raise RuntimeError(f"request {request.rid}: core {c} out of range")
-            if c in used:
-                raise RuntimeError(
-                    f"core {c} assigned to two requests in one wave"
-                )
-            used.add(c)

@@ -13,6 +13,7 @@ from repro.sim.multitenant import (
     tenant_spans,
 )
 from repro.sim.reference_scheduler import simulate_reference
+from repro.sim.session import InjectionOutcome, SimSession
 from repro.sim.simulator import SimResult, simulate
 from repro.sim.throughput import ThroughputResult, measure_throughput, repeat_program
 from repro.sim.stats import (
@@ -40,8 +41,10 @@ __all__ = [
     "merge_programs",
     "run_concurrent",
     "sub_machine",
+    "InjectionOutcome",
     "RunStats",
     "SimResult",
+    "SimSession",
     "Trace",
     "TraceEvent",
     "collect_stats",

@@ -1,0 +1,639 @@
+"""Resumable simulation sessions: one shared timeline, overlapping programs.
+
+The one-shot simulators (:func:`repro.sim.simulator.simulate` and the
+fault-aware loop in :mod:`repro.faults.engine`) run a single program
+from t=0 until it drains.  A work-conserving serving runtime needs
+something richer: a program must be *injected* onto whichever core
+group just freed up, at an arbitrary point in simulated time, while
+programs admitted earlier keep running -- and all of them share the one
+contended resource, the bus to global memory.
+
+:class:`SimSession` is that substrate.  It keeps the event loop of the
+one-shot simulators -- per-(core, engine) in-order command queues, a
+reverse-dependency index per program, one time heap, one
+:class:`~repro.sim.bus.FluidBus` -- but scopes the per-program state
+(dependency counters, completion times, jittered delays) to an
+*injection* so any number of programs can be in flight at once.  Heap
+and bus entries are keyed by ``(injection id, command id)``.
+
+Reproducibility contract: a session that injects exactly one program
+per idle period replays the one-shot simulators bit-for-bit.  Two
+mechanisms make that exact rather than approximate:
+
+* **frame reset** -- when a clean session is fully idle, the next
+  injection restarts the local clock at zero and records the serving
+  time as the frame's ``origin_us``.  Event arithmetic inside the frame
+  is then the *same float operations* as a standalone ``simulate()``
+  call; absolute times are reconstructed as ``origin_us +
+  cycles_to_us(local)``, exactly the expression the gang-scheduled
+  server uses.  Fault-injected sessions never reset (fault windows and
+  heat live on the absolute clock, matching the engine's
+  ``time_offset_us`` frame of a wave starting at t=0).
+* **no partial bus advances inside a frame** -- ``run_until`` only
+  splits a bus advance at the limit time, which barrier-equivalent
+  callers never hit mid-wave (they run each wave to completion).
+
+Trace events of a finished injection are reported in frame-local cycles
+together with the frame origin, mirroring how the gang server consumes
+``simulate()`` results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import random
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.compiler.program import CommandKind, Engine, Program
+from repro.hw.config import NPUConfig
+from repro.sim.bus import FluidBus
+from repro.sim.simulator import _plan_for, _SimPlan
+from repro.sim.trace import Trace, TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.plan import FaultPlan
+
+_EPS = 1e-9
+
+#: heap event kinds; the first two match the one-shot simulators.
+_END = 0
+_JOIN_BUS = 1
+_WAKE = 2
+_OFFLINE = 3
+
+#: heap/bus payload for a command: (injection id, command id).
+Gid = Tuple[int, int]
+
+
+@dataclasses.dataclass(frozen=True)
+class InjectionOutcome:
+    """Completion record of one injected program.
+
+    Times are split the way the serving layer consumes them: ``origin_us``
+    is the serving time of the session frame the injection ran in, and
+    every cycle count (including the trace's event times) is local to
+    that frame.  Absolute serving time of a local cycle count ``c`` is
+    ``origin_us + npu.cycles_to_us(c)``.
+    """
+
+    injection_id: int
+    label: str
+    #: serving time of the frame origin.
+    origin_us: float
+    #: frame-local cycle at which the program was injected.
+    injected_at_cycles: float
+    #: frame-local cycle at which the last command completed (or the
+    #: injection was abandoned).
+    completed_at_cycles: float
+    #: events of the completed commands, frame-local cycles.
+    trace: Trace = dataclasses.field(repr=False)
+    #: True when fault injection abandoned at least one command.
+    failed: bool = False
+    #: number of abandoned commands.
+    num_abandoned: int = 0
+    #: opaque caller payload handed to :meth:`SimSession.inject`.
+    meta: Any = None
+
+
+class _Queue:
+    """One physical in-order (core, engine) command queue."""
+
+    __slots__ = ("core", "engine", "cids", "head", "busy", "free_at")
+
+    def __init__(self, core: int, engine: Engine) -> None:
+        self.core = core
+        self.engine = engine
+        self.cids: List[Gid] = []
+        self.head = 0
+        self.busy = False
+        self.free_at = 0.0
+
+
+class _Active:
+    """Per-injection scheduling state (the mutable half of a _SimPlan)."""
+
+    __slots__ = (
+        "iid", "label", "meta", "program", "plan", "commands", "delay",
+        "indeg", "done_at", "r_start", "r_own", "r_dep", "finished",
+        "doomed", "qpos", "pqids", "completed", "num_doomed", "total",
+        "origin_us", "injected_at",
+    )
+
+    def __init__(
+        self,
+        iid: int,
+        program: Program,
+        plan: _SimPlan,
+        seed: int,
+        label: str,
+        meta: Any,
+        origin_us: float,
+        injected_at: float,
+    ) -> None:
+        self.iid = iid
+        self.label = label
+        self.meta = meta
+        self.program = program
+        self.plan = plan
+        self.commands = program.commands
+        total = plan.total
+        self.total = total
+        self.indeg = list(plan.indeg0)
+        self.done_at = [0.0] * total
+        self.r_start = [0.0] * total
+        self.r_own = [0.0] * total
+        self.r_dep = [0.0] * total
+        self.finished = [False] * total
+        self.doomed = [False] * total
+        self.completed = 0
+        self.num_doomed = 0
+        self.origin_us = origin_us
+        self.injected_at = injected_at
+        # Same seeded coordination jitter as the one-shot simulators.
+        delay = plan.base_delay
+        if plan.jittered:
+            delay = list(delay)
+            rng = random.Random()
+            hi = seed << 32
+            for cid, bound in plan.jittered:
+                rng.seed(hi ^ (cid * 2654435761))
+                delay[cid] += rng.uniform(0.0, bound)
+        self.delay = delay
+        # Position of each command within its plan queue (for dooming
+        # in-order successors under core-offline faults).
+        qpos = [0] * total
+        for cids in plan.qcids:
+            for pos, cid in enumerate(cids):
+                qpos[cid] = pos
+        self.qpos = qpos
+        #: plan qid -> session qid; filled in by the session at inject.
+        self.pqids: List[int] = []
+
+
+class SimSession:
+    """A resumable simulation timeline accepting program injections.
+
+    ``faults`` (a non-empty :class:`~repro.faults.plan.FaultPlan`) arms
+    the fault machinery of :mod:`repro.faults.engine` on the session's
+    absolute clock: stall windows and core-offline events are placed at
+    their plan times, heat accumulates across injections and cools
+    through idle gaps.  A clean session keeps every fault structure
+    empty, so the hot loop runs the exact arithmetic of the clean
+    simulator.
+    """
+
+    def __init__(
+        self,
+        npu: NPUConfig,
+        faults: "Optional[FaultPlan]" = None,
+    ) -> None:
+        self.npu = npu
+        self.faults = faults if (faults is not None and not faults.is_empty) else None
+        self.origin_us = 0.0
+        self.clock = 0.0
+        self._queues: List[_Queue] = []
+        self._qid_of_key: Dict[Tuple[int, Engine], int] = {}
+        self._heap: List[Tuple[float, int, int, Any]] = []
+        self._seq = 0
+        self._bus = FluidBus(npu.bus_bytes_per_cycle)
+        self._check: List[int] = []
+        self._active: Dict[int, _Active] = {}
+        self._completions: List[InjectionOutcome] = []
+        self._next_id = 0
+        self._running: set = set()
+        self._running_core: Dict[Gid, int] = {}
+        self._cancelled: set = set()
+
+        # ---- fault state (all empty / inert on clean sessions) -----
+        n = npu.num_cores
+        self.dead = [False] * n
+        self.heat = [0.0] * n
+        self._heat_t = [0.0] * n
+        self.busy_cycles = [0.0] * n
+        self.throttled_cycles = [0.0] * n
+        self.stall_cycles = 0.0
+        self._core_windows: Dict[int, List[Tuple[float, float]]] = {}
+        self._bus_windows: List[Tuple[float, float]] = []
+        self._throttled: set = set()
+        if self.faults is not None:
+            from repro.faults.engine import _merge_windows
+
+            plan = self.faults
+            bus_windows: List[Tuple[float, float]] = []
+            core_windows: Dict[int, List[Tuple[float, float]]] = {}
+            for stall in plan.stalls:
+                window = (
+                    npu.us_to_cycles(max(0.0, stall.start_us)),
+                    npu.us_to_cycles(stall.end_us),
+                )
+                if stall.core is None:
+                    bus_windows.append(window)
+                else:
+                    core_windows.setdefault(stall.core, []).append(window)
+            self._bus_windows = _merge_windows(bus_windows)
+            self._core_windows = {
+                c: _merge_windows(w) for c, w in core_windows.items()
+            }
+            self._throttled = set(plan.throttled_cores(n))
+            for event in plan.offline_events:
+                if event.core >= n:
+                    raise ValueError(
+                        f"offline core {event.core} out of range "
+                        f"(machine has {n})"
+                    )
+                t = npu.us_to_cycles(max(0.0, event.at_us))
+                if t <= 0:
+                    self._doom_core(event.core, 0.0)
+                else:
+                    heapq.heappush(self._heap, (t, self._seq, _OFFLINE, event.core))
+                    self._seq += 1
+
+    # ---- public surface --------------------------------------------
+
+    @property
+    def now_us(self) -> float:
+        """Current absolute serving time of the session."""
+        return self.origin_us + self.npu.cycles_to_us(self.clock)
+
+    @property
+    def idle(self) -> bool:
+        """True when no injection is in flight."""
+        return not self._active
+
+    @property
+    def num_active(self) -> int:
+        return len(self._active)
+
+    def alive_cores(self) -> Tuple[int, ...]:
+        """Cores not (yet) taken offline by a processed fault event."""
+        return tuple(c for c in range(self.npu.num_cores) if not self.dead[c])
+
+    def inject(
+        self,
+        program: Program,
+        at_us: float,
+        seed: int = 0,
+        label: str = "",
+        meta: Any = None,
+    ) -> int:
+        """Admit ``program`` onto the timeline at serving time ``at_us``.
+
+        The program's commands name physical cores (a merged/placed
+        program from :func:`repro.sim.multitenant.merge_programs`); the
+        session does not check that those cores are free -- overlapping
+        injections on one core simply queue behind each other in their
+        (core, engine) streams, so the *caller* owns core accounting.
+
+        Returns an injection id; the matching
+        :class:`InjectionOutcome` is delivered by :meth:`run_until`.
+        """
+        if program.num_cores > self.npu.num_cores:
+            raise ValueError(
+                f"program targets {program.num_cores} cores, "
+                f"machine has {self.npu.num_cores}"
+            )
+        if self.faults is None and not self._active:
+            self._reset_frame(at_us)
+        else:
+            target = self.npu.us_to_cycles(at_us - self.origin_us)
+            if target < self.clock - 1e-6:
+                raise ValueError(
+                    f"cannot inject at {at_us}us: session already at "
+                    f"{self.now_us}us"
+                )
+            if target > self.clock:
+                self._run(limit=target, stop_on_completion=False)
+                if self.clock < target:
+                    self.clock = target
+        plan = _plan_for(program, self.npu)
+        iid = self._next_id
+        self._next_id += 1
+        inj = _Active(
+            iid, program, plan, seed, label, meta, self.origin_us, self.clock
+        )
+        self._active[iid] = inj
+
+        # Map plan queues onto session queues by (core, engine) and
+        # enqueue the commands; queue scan order (plan order) matches
+        # the one-shot simulators' seeding of the check stack.
+        for plan_qid, cids in enumerate(plan.qcids):
+            cmd = inj.commands[cids[0]]
+            key = (cmd.core, cmd.engine)
+            qid = self._qid_of_key.get(key)
+            if qid is None:
+                qid = len(self._queues)
+                self._qid_of_key[key] = qid
+                self._queues.append(_Queue(cmd.core, cmd.engine))
+            q = self._queues[qid]
+            q.cids.extend((iid, cid) for cid in cids)
+            inj.pqids.append(qid)
+            self._check.append(qid)
+
+        # A core already offline dooms its share of the program now.
+        if self.faults is not None and any(self.dead):
+            for core in range(self.npu.num_cores):
+                if self.dead[core]:
+                    self._doom_injection_core(inj, core)
+            if inj.total == inj.completed + inj.num_doomed:
+                self._finish_injection(iid, self.clock)
+        return iid
+
+    def run_until(
+        self,
+        until_us: Optional[float] = None,
+        stop_on_completion: bool = True,
+    ) -> List[InjectionOutcome]:
+        """Advance the timeline; return injections that completed.
+
+        Stops at the first timestamp where at least one injection
+        completed (after processing every same-time event), at
+        ``until_us``, or when the session drains -- whichever comes
+        first.  With ``stop_on_completion=False`` it runs through
+        completions to the limit (or to full drain when no limit).
+        """
+        limit = None
+        if until_us is not None:
+            limit = self.npu.us_to_cycles(until_us - self.origin_us)
+        self._run(limit=limit, stop_on_completion=stop_on_completion)
+        out = self._completions
+        self._completions = []
+        return out
+
+    # ---- internals -------------------------------------------------
+
+    def _reset_frame(self, at_us: float) -> None:
+        """Restart the local clock (clean session, machine fully idle)."""
+        self.origin_us = at_us
+        self.clock = 0.0
+        self._check.clear()
+        for q in self._queues:
+            q.cids.clear()
+            q.head = 0
+            q.busy = False
+            q.free_at = 0.0
+
+    def _cool(self, core: int, now: float) -> None:
+        dt = now - self._heat_t[core]
+        if dt > 0:
+            h = self.heat[core] - self.npu.core(core).cool_per_cycle * dt
+            self.heat[core] = h if h > 0 else 0.0
+            self._heat_t[core] = now
+
+    def _doom_injection_core(self, inj: _Active, core: int) -> None:
+        """Abandon ``inj``'s commands that (transitively) need ``core``."""
+        iid = inj.iid
+        commands = inj.commands
+        finished = inj.finished
+        doomed = inj.doomed
+        stack = [
+            cid for cid in range(inj.total)
+            if commands[cid].core == core and not finished[cid] and not doomed[cid]
+        ]
+        while stack:
+            cid = stack.pop()
+            if doomed[cid] or finished[cid]:
+                continue
+            gid = (iid, cid)
+            if gid in self._running and self._running_core.get(gid) != core:
+                # In flight on a live core: its dependencies already
+                # completed, so it finishes normally.
+                continue
+            doomed[cid] = True
+            inj.num_doomed += 1
+            if gid in self._running:
+                self._running.discard(gid)
+                self._cancelled.add(gid)
+                if gid in self._bus._active:
+                    self._bus.cancel(gid)
+                qid = inj.pqids[inj.plan.qid_of[cid]]
+                self._queues[qid].busy = False
+            for consumer in inj.plan.consumers[cid]:
+                if not finished[consumer] and not doomed[consumer]:
+                    stack.append(consumer)
+            pos = inj.qpos[cid]
+            plan_q = inj.plan.qcids[inj.plan.qid_of[cid]]
+            if pos + 1 < len(plan_q):
+                successor = plan_q[pos + 1]
+                if not finished[successor] and not doomed[successor]:
+                    stack.append(successor)
+
+    def _doom_core(self, core: int, now: float) -> None:
+        """Mark ``core`` dead and abandon everything that needs it."""
+        if self.dead[core]:
+            return
+        self.dead[core] = True
+        for iid in list(self._active):
+            inj = self._active[iid]
+            self._doom_injection_core(inj, core)
+            if inj.total == inj.completed + inj.num_doomed:
+                self._finish_injection(iid, now)
+        # A queue whose head was doomed must be rescanned.
+        self._check.extend(range(len(self._queues)))
+
+    def _complete(self, gid: Gid, now: float) -> None:
+        iid, cid = gid
+        inj = self._active[iid]
+        self._running.discard(gid)
+        self._running_core.pop(gid, None)
+        inj.finished[cid] = True
+        inj.done_at[cid] = now
+        inj.completed += 1
+        qid = inj.pqids[inj.plan.qid_of[cid]]
+        q = self._queues[qid]
+        q.busy = False
+        q.free_at = now
+        self._check.append(qid)
+        for consumer in inj.plan.consumers[cid]:
+            left = inj.indeg[consumer] - 1
+            inj.indeg[consumer] = left
+            if not left:
+                self._check.append(inj.pqids[inj.plan.qid_of[consumer]])
+        if inj.completed + inj.num_doomed == inj.total:
+            self._finish_injection(iid, now)
+
+    def _finish_injection(self, iid: int, now: float) -> None:
+        inj = self._active.pop(iid)
+        trace_fields = inj.plan.trace_fields
+        events = [
+            TraceEvent(
+                *trace_fields[cid],
+                inj.r_start[cid], inj.done_at[cid], inj.r_own[cid], inj.r_dep[cid],
+            )
+            for cid in range(inj.total)
+            if inj.finished[cid]
+        ]
+        trace = Trace(events=sorted(events, key=lambda e: (e.start, e.cid)))
+        self._completions.append(
+            InjectionOutcome(
+                injection_id=iid,
+                label=inj.label,
+                origin_us=inj.origin_us,
+                injected_at_cycles=inj.injected_at,
+                completed_at_cycles=now,
+                trace=trace,
+                failed=inj.num_doomed > 0,
+                num_abandoned=inj.num_doomed,
+                meta=inj.meta,
+            )
+        )
+
+    def _start_heads(self) -> None:
+        """Start every startable queue head reachable from the check set."""
+        check = self._check
+        queues = self._queues
+        dead = self.dead
+        active = self._active
+        clock = self.clock
+        heappush = heapq.heappush
+        while check:
+            qid = check.pop()
+            q = queues[qid]
+            if q.busy:
+                continue
+            core = q.core
+            if dead[core]:
+                continue
+            idx = q.head
+            cids = q.cids
+            # Doomed commands never start, and a finished injection's
+            # only leftover queue entries are doomed ones: skip forward.
+            while idx < len(cids):
+                iid, cid = cids[idx]
+                inj = active.get(iid)
+                if inj is None or inj.doomed[cid]:
+                    idx += 1
+                    continue
+                break
+            q.head = idx
+            if idx >= len(cids):
+                continue
+            gid = cids[idx]
+            iid, cid = gid
+            inj = active[iid]
+            if inj.indeg[cid]:
+                continue
+            windows = self._core_windows.get(core)
+            if windows:
+                from repro.faults.engine import _stalled_until
+
+                until = _stalled_until(windows, clock)
+                if until > clock:
+                    self.stall_cycles += until - clock
+                    heappush(self._heap, (until, self._seq, _WAKE, qid))
+                    self._seq += 1
+                    continue
+            done_at = inj.done_at
+            dep_ready = 0.0
+            for d in inj.plan.deps_of[cid]:
+                t = done_at[d]
+                if t > dep_ready:
+                    dep_ready = t
+            own_ready = q.free_at
+            for d in inj.plan.own_deps_of[cid]:
+                t = done_at[d]
+                if t > own_ready:
+                    own_ready = t
+            dur = inj.delay[cid]
+            if inj.commands[cid].kind is CommandKind.COMPUTE:
+                if core in self._throttled:
+                    self._cool(core, clock)
+                    cc = self.npu.core(core)
+                    level = cc.dvfs_level_for_heat(self.heat[core])
+                    speed = cc.dvfs_steps[level]
+                    dur = dur / speed
+                    self.heat[core] += dur * cc.heat_per_busy_cycle
+                    if level > 0:
+                        self.throttled_cycles[core] += dur
+                self.busy_cycles[core] += dur
+            inj.r_start[cid] = clock
+            inj.r_own[cid] = own_ready
+            inj.r_dep[cid] = dep_ready
+            self._running.add(gid)
+            self._running_core[gid] = core
+            q.busy = True
+            q.head = idx + 1
+            heappush(self._heap, (clock + dur, self._seq, inj.plan.evkind[cid], gid))
+            self._seq += 1
+
+    def _deadlock(self) -> RuntimeError:
+        stuck = [
+            str(self._active[iid].commands[cid])
+            for (iid, cid) in self._running
+        ]
+        labels = [inj.label or str(iid) for iid, inj in self._active.items()]
+        return RuntimeError(
+            f"session deadlock at t={self.now_us}us: "
+            f"injections={labels[:8]}, running={stuck[:8]}"
+        )
+
+    def _run(
+        self, limit: Optional[float] = None, stop_on_completion: bool = False
+    ) -> None:
+        heap = self._heap
+        bus = self._bus
+        bus_active = bus._active  # alias: skip property/len calls in the loop
+        inf = float("inf")
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        bus_eta = bus.eta
+        bus_advance = bus.advance
+        bus_add = bus.add
+
+        while True:
+            self._start_heads()
+            t_heap = heap[0][0] if heap else inf
+            t_bus = self.clock + bus_eta() if bus_active else inf
+            t_next = t_heap if t_heap <= t_bus else t_bus
+            if t_next == inf:
+                if self._active:
+                    raise self._deadlock()
+                if limit is not None and self.clock < limit:
+                    self.clock = limit
+                break
+            if limit is not None and t_next > limit:
+                # Stop at the limit: progress in-flight transfers to it
+                # (a partial advance; never taken by barrier-equivalent
+                # callers, who run each wave to completion instead).
+                dt = limit - self.clock
+                finished_dma = bus_advance(dt) if (bus_active and dt > 0) else ()
+                self.clock = max(self.clock, limit)
+                for gid in finished_dma:
+                    self._complete(gid, self.clock)
+                break
+            dt = t_next - self.clock
+            finished_dma = bus_advance(dt) if bus_active else ()
+            if not finished_dma and t_next == t_bus and t_next <= self.clock:
+                # eta underflowed the clock's float resolution: retire
+                # the nearest transfer rather than spinning at dt == 0.
+                finished_dma = bus.force_min_completion()
+            self.clock = t_next
+            clock = self.clock
+            for gid in finished_dma:
+                self._complete(gid, clock)
+            threshold = clock + _EPS
+            while heap and heap[0][0] <= threshold:
+                _, _, kind, payload = heappop(heap)
+                if kind == _OFFLINE:
+                    self._doom_core(payload, clock)
+                elif kind == _WAKE:
+                    self._check.append(payload)
+                elif payload in self._cancelled:
+                    self._cancelled.discard(payload)
+                elif kind == _END:
+                    self._complete(payload, clock)
+                else:  # _JOIN_BUS
+                    if self._bus_windows:
+                        from repro.faults.engine import _stalled_until
+
+                        until = _stalled_until(self._bus_windows, clock)
+                        if until > clock:
+                            self.stall_cycles += until - clock
+                            heappush(heap, (until, self._seq, _JOIN_BUS, payload))
+                            self._seq += 1
+                            continue
+                    iid, cid = payload
+                    inj = self._active[iid]
+                    bus_add(payload, inj.plan.num_bytes[cid], inj.plan.dma_cap[cid])
+            if stop_on_completion and self._completions:
+                break

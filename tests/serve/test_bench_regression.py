@@ -1,10 +1,14 @@
-"""Clean-path serving must keep reproducing the committed benchmark.
+"""Serving must keep reproducing the committed benchmark artifact.
 
-Re-runs ``benchmarks/bench_serving.py``'s exact parameters -- through an
-*empty* fault plan, exercising the no-op routing -- and compares the
-summary against the committed ``BENCH_serving.json``.  This is the
-regression gate for the fault-injection layer: adding ``repro.faults``
-must not move a single clean-path number.
+Re-runs ``benchmarks/bench_serving.py``'s exact parameters and compares
+the summaries against the committed ``BENCH_serving.json``:
+
+* the gang-scheduled run goes through an *empty* fault plan, exercising
+  the no-op routing -- the regression gate for the fault-injection
+  layer (adding ``repro.faults`` must not move a clean-path number);
+* the continuous-mode run recomputes the pinned seed's section of the
+  gang-vs-continuous comparison -- the regression gate for the
+  shared-timeline serving engine.
 """
 
 from __future__ import annotations
@@ -14,17 +18,29 @@ import pathlib
 
 import pytest
 
-from benchmarks.bench_serving import DURATION_US, MIX, RPS, SEED, RESULT_PATH
+from benchmarks.bench_serving import (
+    DURATION_US,
+    MIX,
+    RPS,
+    SEED,
+    RESULT_PATH,
+    collect_modes,
+)
 from repro.analysis.serving import serving_summary
 from repro.faults import FaultPlan
 from repro.hw import exynos2100_like
 from repro.serve import serve_policies
 
-
-@pytest.mark.skipif(
+needs_artifact = pytest.mark.skipif(
     not pathlib.Path(RESULT_PATH).exists(),
     reason="BENCH_serving.json not generated yet",
 )
+
+#: the gang-only summary keys, unchanged since before continuous mode.
+GANG_KEYS = ("policies", "dynamic_vs_fifo_makespan", "sjf_vs_fifo_p50")
+
+
+@needs_artifact
 def test_empty_fault_plan_reproduces_committed_benchmark():
     committed = json.loads(pathlib.Path(RESULT_PATH).read_text())
     reports = serve_policies(
@@ -36,4 +52,12 @@ def test_empty_fault_plan_reproduces_committed_benchmark():
         faults=FaultPlan(),
     )
     fresh = json.loads(json.dumps(serving_summary(reports)))
-    assert fresh == committed
+    assert fresh == {k: committed[k] for k in GANG_KEYS}
+
+
+@needs_artifact
+def test_continuous_mode_reproduces_committed_benchmark():
+    committed = json.loads(pathlib.Path(RESULT_PATH).read_text())
+    gang, cont = collect_modes(exynos2100_like(), SEED)
+    fresh = json.loads(json.dumps(serving_summary(gang + cont)["continuous"]))
+    assert fresh == committed["continuous"][str(SEED)]

@@ -93,14 +93,31 @@ class TestRequestResult:
 
 
 class TestPercentile:
-    def test_nearest_rank(self):
+    def test_linear_interpolation(self):
         xs = [10.0, 20.0, 30.0, 40.0]
-        assert percentile(xs, 50) == 20.0
-        assert percentile(xs, 95) == 40.0
+        # rank (n-1)*p/100: 1.5 -> midway between 20 and 30.
+        assert percentile(xs, 50) == 25.0
+        assert percentile(xs, 95) == 38.5
         assert percentile(xs, 0) == 10.0
         assert percentile(xs, 100) == 40.0
         assert percentile([5.0], 99) == 5.0
         assert percentile([], 50) == 0.0
+
+    def test_exact_ranks_hit_order_statistics(self):
+        xs = [4.0, 1.0, 3.0, 2.0, 5.0]
+        # (n-1)*p/100 lands on integers: no interpolation.
+        assert percentile(xs, 25) == 2.0
+        assert percentile(xs, 50) == 3.0
+        assert percentile(xs, 75) == 4.0
+
+    def test_small_sample_tail_percentiles_differ(self):
+        # The old nearest-rank method degenerated here: at n=19 every
+        # percentile above ~94.7% hit the maximum, so p95 == p99.
+        xs = [float(i) for i in range(1, 20)]
+        p95, p99 = percentile(xs, 95), percentile(xs, 99)
+        assert p95 < p99 < 19.0
+        assert p95 == pytest.approx(18.1)
+        assert p99 == pytest.approx(18.82)
 
     def test_bounds(self):
         with pytest.raises(ValueError):
