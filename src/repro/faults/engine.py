@@ -26,13 +26,14 @@ precomputed :class:`~repro.sim.simulator._SimPlan`.
 from __future__ import annotations
 
 import heapq
-import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.compiler.program import CommandKind, Program
 from repro.faults.plan import FaultPlan, FaultStats
 from repro.hw.config import NPUConfig
+from repro.sim import memo as memo_mod
 from repro.sim.bus import FluidBus
+from repro.sim.memo import USE_DEFAULT_MEMO, SimMemo
 from repro.sim.simulator import SimResult, _plan_for
 from repro.sim.trace import Trace, TraceEvent
 
@@ -74,6 +75,7 @@ def simulate_faulted(
     plan: Optional[FaultPlan] = None,
     initial_heat: Optional[Sequence[float]] = None,
     time_offset_us: float = 0.0,
+    memo: Optional[SimMemo] = USE_DEFAULT_MEMO,  # type: ignore[assignment]
 ) -> SimResult:
     """Run ``program`` under a fault plan; deterministic per seed.
 
@@ -82,12 +84,26 @@ def simulate_faulted(
     (events wholly in the past take effect at t=0, e.g. a core that died
     during an earlier wave is dead from the start).  ``initial_heat``
     carries per-core thermal state in from previous waves.
+
+    Results are memoized under a fault-signature key -- the frozen plan
+    plus the offset and carried heat -- which can never alias a clean
+    entry (see :mod:`repro.sim.memo`); pass ``memo=None`` to disable.
     """
     plan = plan or FaultPlan()
     if program.num_cores > npu.num_cores:
         raise ValueError(
             f"program targets {program.num_cores} cores, machine has {npu.num_cores}"
         )
+    if memo is USE_DEFAULT_MEMO:
+        memo = memo_mod.default_memo()
+    key = None
+    if memo is not None:
+        key = memo_mod.faulted_key(
+            program, npu, seed, plan, time_offset_us, initial_heat
+        )
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
     splan = _plan_for(program, npu)
     commands = program.commands
     total = splan.total
@@ -112,15 +128,10 @@ def simulate_faulted(
         for pos, cid in enumerate(cids):
             qpos[cid] = pos
 
-    # Same seeded coordination jitter as the clean scheduler.
-    delay = splan.base_delay
-    if splan.jittered:
-        delay = list(delay)
-        rng = random.Random()
-        hi = seed << 32
-        for cid, bound in splan.jittered:
-            rng.seed(hi ^ (cid * 2654435761))
-            delay[cid] += rng.uniform(0.0, bound)
+    # Same seeded coordination jitter as the clean scheduler (shared
+    # cached table; read-only -- throttling adjusts a local copy of the
+    # duration, never the list).
+    delay = splan.delays_for(seed)
 
     # ---- fault state -----------------------------------------------
     def local_cycles(at_us: float) -> float:
@@ -379,6 +390,9 @@ def simulate_faulted(
         stall_cycles=stall_cycles,
         heat=tuple(heat),
     )
-    return SimResult(
+    result = SimResult(
         trace=trace, makespan_cycles=trace.makespan, npu=npu, faults=stats
     )
+    if memo is not None and key is not None:
+        memo.put(key, result)
+    return result

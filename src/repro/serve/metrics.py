@@ -26,11 +26,17 @@ def percentile(xs: Sequence[float], p: float) -> float:
     degenerates at small samples -- at n=19 every percentile above
     ~94.7% lands on the same (maximum) observation, so p95 == p99 and
     tail-latency comparisons go blind exactly where they matter.
+
+    NaN inputs are rejected: ``sorted`` places NaNs arbitrarily (every
+    comparison is False), so any order statistic over them would be an
+    undefined value presented as a real percentile.
     """
     if not xs:
         return 0.0
     if not 0 <= p <= 100:
         raise ValueError("percentile must be in [0, 100]")
+    if any(x != x for x in xs):  # NaN is the only value that != itself
+        raise ValueError("percentile over NaN input")
     ordered = sorted(xs)
     rank = (len(ordered) - 1) * (p / 100.0)
     lo = int(rank)
@@ -291,8 +297,11 @@ def build_report(
     with_slo = [r for r in results if r.request.slo_us > 0]
     missed = sum(1 for r in with_slo if not r.slo_met)
     makespan_us = makespan_cycles * latency_us_per_cycle
+    # Clamped to [0, 1]: under fault injection a command can be charged
+    # to a core (retry accounting) while the makespan is measured on the
+    # surviving timeline, so raw busy/makespan can exceed 1.
     utilization = tuple(
-        (busy / makespan_cycles) if makespan_cycles > 0 else 0.0
+        min(1.0, max(0.0, busy / makespan_cycles)) if makespan_cycles > 0 else 0.0
         for busy in busy_cycles
     )
     return ServeReport(

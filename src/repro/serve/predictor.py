@@ -6,20 +6,25 @@ requests.  Both come from one place -- compilation goes through
 :class:`repro.compiler.cache.ProgramCache`, so every distinct
 (model, core group) pair compiles exactly once per server no matter how
 many requests ride on it, and the prediction is the program's isolated
-simulated latency on its group (memoized per compile fingerprint).
+simulated latency on its group.  Simulation results are not memoized
+here: they go through the shared :mod:`repro.sim.memo` layer, so a
+prediction made by one policy (or one server) is a cache hit for every
+other consumer of the same (program, machine, seed) triple.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from repro.compiler.cache import ProgramCache, compile_cached, compile_key
+from repro.compiler.cache import ProgramCache, compile_cached
 from repro.compiler.compiler import CompiledModel
 from repro.compiler.options import CompileOptions
 from repro.compiler.program import Program
 from repro.hw.config import NPUConfig
 from repro.ir.graph import Graph
 from repro.models import get_model, inception_v3_stem
+from repro.sim import memo as memo_mod
+from repro.sim.memo import USE_DEFAULT_MEMO, SimMemo
 from repro.sim.multitenant import merge_programs, sub_machine
 from repro.sim.simulator import SimResult, simulate
 
@@ -38,8 +43,9 @@ def resolve_graph(name: str) -> Graph:
 class LatencyPredictor:
     """Compile-and-estimate service for the serving policies.
 
-    One instance owns a :class:`ProgramCache` plus a memo of isolated
-    simulation results; all serving policies of one server share it so
+    One instance owns a :class:`ProgramCache` and points at a
+    :class:`~repro.sim.memo.SimMemo` (the process default unless given
+    a private one); all serving policies of one server share it so
     their predictions (and therefore their decisions) are deterministic
     and cheap.
     """
@@ -50,16 +56,35 @@ class LatencyPredictor:
         options: Optional[CompileOptions] = None,
         cache: Optional[ProgramCache] = None,
         seed: int = 0,
+        memo: Optional[SimMemo] = USE_DEFAULT_MEMO,  # type: ignore[assignment]
     ) -> None:
         self.npu = npu
         self.options = options or CompileOptions.stratum_config()
         self.cache = cache if cache is not None else ProgramCache()
         self.seed = seed
+        if memo is USE_DEFAULT_MEMO:
+            memo = memo_mod.default_memo()
+        self.memo = memo
         self.all_cores: Tuple[int, ...] = tuple(range(npu.num_cores))
         self._graphs: Dict[str, Graph] = {}
-        self._runs: Dict[str, SimResult] = {}
         self._merged: Dict[WavePattern, Program] = {}
-        self._wave_latency: Dict[WavePattern, float] = {}
+
+    def _resolve_cores(self, cores: Optional[Tuple[int, ...]]) -> Tuple[int, ...]:
+        """Default ``None`` to the whole machine; reject empty groups.
+
+        ``None`` means "whole machine"; an *empty* group is a policy
+        bug (it used to fall through ``cores or self.all_cores`` and
+        silently compile -- and predict -- for the full machine).
+        """
+        if cores is None:
+            return self.all_cores
+        if not cores:
+            from repro.serve.policies import PolicyError
+
+            raise PolicyError(
+                "empty core group: cannot compile or predict for zero cores"
+            )
+        return cores
 
     def graph(self, model: str) -> Graph:
         g = self._graphs.get(model)
@@ -88,7 +113,7 @@ class LatencyPredictor:
         self, model: str, cores: Optional[Tuple[int, ...]] = None
     ) -> CompiledModel:
         """Compile ``model`` for a core group, through the cache."""
-        cores = cores or self.all_cores
+        cores = self._resolve_cores(cores)
         return compile_cached(
             self.graph(model),
             self.machine_for(cores),
@@ -99,16 +124,12 @@ class LatencyPredictor:
     def isolated_run(
         self, model: str, cores: Optional[Tuple[int, ...]] = None
     ) -> SimResult:
-        """The model's isolated simulation on its group (memoized)."""
-        cores = cores or self.all_cores
+        """The model's isolated simulation on its group (memoized in
+        the shared simulation-result cache)."""
+        cores = self._resolve_cores(cores)
         machine = self.machine_for(cores)
-        key = compile_key(self.graph(model), machine, self.options_for(cores))
-        run = self._runs.get(key)
-        if run is None:
-            compiled = self.compiled_for(model, cores)
-            run = simulate(compiled.program, machine, seed=self.seed)
-            self._runs[key] = run
-        return run
+        compiled = self.compiled_for(model, cores)
+        return simulate(compiled.program, machine, seed=self.seed, memo=self.memo)
 
     def predicted_latency_us(
         self, model: str, cores: Optional[Tuple[int, ...]] = None
@@ -139,11 +160,10 @@ class LatencyPredictor:
         Isolated per-request estimates miss cross-group bus contention,
         which on a shared-DRAM machine can nearly double a wave (three
         single-core InceptionV3s take ~1.75x their isolated latency).
-        Simulating the merged wave itself -- memoized per shape -- gives
-        packing decisions the number that actually matters.
+        Simulating the merged wave itself -- memoized per (program,
+        machine, seed) in the shared cache -- gives packing decisions
+        the number that actually matters.
         """
-        est = self._wave_latency.get(pattern)
-        if est is None:
-            est = simulate(self.merged_for(pattern), self.npu, seed=self.seed).latency_us
-            self._wave_latency[pattern] = est
-        return est
+        return simulate(
+            self.merged_for(pattern), self.npu, seed=self.seed, memo=self.memo
+        ).latency_us

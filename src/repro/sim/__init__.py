@@ -12,6 +12,13 @@ from repro.sim.multitenant import (
     sub_machine,
     tenant_spans,
 )
+from repro.sim.event_core import simulate_event_driven
+from repro.sim.memo import (
+    SimMemo,
+    default_memo,
+    machine_fingerprint,
+    program_fingerprint,
+)
 from repro.sim.reference_scheduler import simulate_reference
 from repro.sim.session import InjectionOutcome, SimSession
 from repro.sim.simulator import SimResult, simulate
@@ -43,13 +50,18 @@ __all__ = [
     "sub_machine",
     "InjectionOutcome",
     "RunStats",
+    "SimMemo",
     "SimResult",
     "SimSession",
     "Trace",
     "TraceEvent",
     "collect_stats",
     "count_barrier_groups",
+    "default_memo",
+    "machine_fingerprint",
+    "program_fingerprint",
     "simulate",
+    "simulate_event_driven",
     "simulate_reference",
     "tenant_spans",
 ]

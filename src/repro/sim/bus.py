@@ -51,14 +51,26 @@ class FluidBus:
     def num_active(self) -> int:
         return len(self._active)
 
-    def add(self, cid: int, num_bytes: float, link_cap: float) -> None:
-        """Register a transfer; zero-byte transfers complete immediately."""
+    def add(self, cid: int, num_bytes: float, link_cap: float) -> bool:
+        """Register a transfer; returns True if it completed at add time.
+
+        Zero-byte (and negative) transfers really do complete
+        immediately: nothing is registered and the rates of in-flight
+        transfers are untouched.  (They used to be registered active,
+        skewing the water-filling split for every other transfer until
+        the next ``advance`` retired them.)  Both event cores gate bus
+        entry on ``num_bytes > 0``, so this path only serves direct
+        users of the bus model.
+        """
         if cid in self._active:
             raise ValueError(f"transfer {cid} already active")
         if link_cap <= 0:
             raise ValueError("link capacity must be positive")
+        if num_bytes <= 0:
+            return True
         self._active[cid] = _Transfer(cid, float(num_bytes), link_cap)
         self._recompute_rates()
+        return False
 
     def _recompute_rates(self) -> None:
         """Water-filling allocation of the bus among active transfers."""

@@ -1,0 +1,210 @@
+"""Simulation-result memoization keyed by content fingerprints.
+
+Every layer above the simulator multiplies how often the *same*
+simulation is requested: serving policies re-predict the same isolated
+run per queued request per wave, the dynamic policy re-measures the
+same candidate wave shapes, degraded mode recompiles onto the same
+surviving core groups, and seed sweeps re-run whole grids.  Stream-style
+design-space exploration (see PAPERS.md) gets its throughput exactly
+this way -- cheap re-evaluation of repeated candidates -- so the cache
+below generalizes the per-wave-shape memo that used to live privately
+inside :class:`repro.serve.LatencyPredictor` into a process-wide layer
+that :func:`repro.sim.simulate`, :meth:`repro.sim.SimSession.inject`
+and :func:`repro.faults.engine.simulate_faulted` all consult.
+
+Keys are *content* fingerprints, not object identities: a program is
+hashed over its command list, a machine over its serialized
+description, and a fault plan contributes its (hashable, frozen) event
+set plus the heat/offset carried across serving waves.  Two different
+program objects with identical commands therefore share one entry, and
+a clean run never aliases a faulted one.  An empty fault plan routes
+through :func:`repro.sim.simulate` to the clean scheduler, so it shares
+the clean entry by construction.
+
+Cached :class:`~repro.sim.simulator.SimResult` objects are returned
+*shared*: callers must treat traces as immutable (they already are --
+``TraceEvent`` is frozen and nothing in the repo mutates event lists).
+
+The default process-wide memo only invests memory in keys that repeat:
+a key is recorded on its first miss and the simulation result is stored
+when the same key misses again (``store_on_first_miss=False``).  That
+keeps streaming workloads -- thousands of distinct (wave, seed) pairs
+that will never be requested twice -- from pinning megabytes of traces,
+while everything that actually repeats is cached from its second
+occurrence on.  Construct a private ``SimMemo(store_on_first_miss=True)``
+for classic memoize-everything behavior.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from repro.hw.serialize import machine_to_dict
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.compiler.program import Program
+    from repro.faults.plan import FaultPlan
+    from repro.hw.config import NPUConfig
+    from repro.sim.simulator import SimResult
+
+#: attribute under which a program caches its own fingerprint
+_FP_ATTR = "_sim_fingerprint"
+
+#: machine descriptions are few and hashable; fingerprints are cached here
+_machine_fps: Dict["NPUConfig", str] = {}
+
+#: sentinel: "use the process-wide default memo" (``None`` disables)
+USE_DEFAULT_MEMO = object()
+
+
+def program_fingerprint(program: "Program") -> str:
+    """Content hash of a program's command list.
+
+    Cached on the program object and invalidated the same way the
+    scheduling-plan cache is: when the command list is a different
+    object or a different length (in-place same-length mutation is not
+    a supported way to build programs).
+    """
+    cached = getattr(program, _FP_ATTR, None)
+    commands = program.commands
+    if (
+        cached is not None
+        and cached[0] is commands
+        and cached[1] == len(commands)
+    ):
+        return cached[2]
+    payload = [
+        (c.cid, c.core, c.kind.value, c.deps, c.num_bytes, c.macs, c.cycles, c.layer, c.tag)
+        for c in commands
+    ]
+    digest = hashlib.sha256(
+        repr((program.num_cores, payload)).encode()
+    ).hexdigest()
+    program._sim_fingerprint = (commands, len(commands), digest)  # type: ignore[attr-defined]
+    return digest
+
+
+def machine_fingerprint(npu: "NPUConfig") -> str:
+    """Content hash of a machine description (shared with the compiler
+    cache's notion of machine identity: the serialized config)."""
+    fp = _machine_fps.get(npu)
+    if fp is None:
+        fp = hashlib.sha256(
+            json.dumps(machine_to_dict(npu), sort_keys=True).encode()
+        ).hexdigest()
+        _machine_fps[npu] = fp
+    return fp
+
+
+def clean_key(program: "Program", npu: "NPUConfig", seed: int) -> Tuple:
+    """Memo key for a clean (fault-free) simulation."""
+    return ("clean", program_fingerprint(program), machine_fingerprint(npu), seed)
+
+
+def faulted_key(
+    program: "Program",
+    npu: "NPUConfig",
+    seed: int,
+    plan: "FaultPlan",
+    time_offset_us: float = 0.0,
+    initial_heat: Optional[Tuple[float, ...]] = None,
+) -> Tuple:
+    """Memo key for a fault-injected simulation.
+
+    The fault-plan *signature* is the frozen plan itself plus the
+    cross-wave carry-over state (``time_offset_us`` aligns wall-clock
+    fault windows, ``initial_heat`` seeds the thermal model), so two
+    waves under the same plan but different accumulated heat never
+    alias.  The leading tag keeps faulted entries disjoint from clean
+    ones even for an empty plan.
+    """
+    return (
+        "faulted",
+        program_fingerprint(program),
+        machine_fingerprint(npu),
+        seed,
+        plan,
+        time_offset_us,
+        initial_heat if initial_heat is None else tuple(initial_heat),
+    )
+
+
+class SimMemo:
+    """Bounded LRU cache of :class:`SimResult` objects.
+
+    ``max_entries`` bounds stored results (least-recently-used entries
+    are evicted); hit/miss counters make cache behavior observable for
+    benchmarks and CI smoke checks.  With ``store_on_first_miss=False``
+    a key must miss twice before its result is stored -- see the module
+    docstring for why that is the right default process-wide.
+    """
+
+    def __init__(self, max_entries: int = 256, store_on_first_miss: bool = True):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.store_on_first_miss = store_on_first_miss
+        self._data: Dict[Tuple, "SimResult"] = {}
+        self._seen: Dict[Tuple, None] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: Tuple) -> Optional["SimResult"]:
+        """Look up a result, counting the hit or miss."""
+        result = self._data.get(key)
+        if result is not None:
+            self.hits += 1
+            # refresh LRU position (dicts preserve insertion order)
+            del self._data[key]
+            self._data[key] = result
+            return result
+        self.misses += 1
+        return None
+
+    def put(self, key: Tuple, result: "SimResult") -> None:
+        """Store a result, unless this key is on its first miss and the
+        memo is in store-on-second-miss mode."""
+        if not self.store_on_first_miss and key not in self._seen:
+            self._seen[key] = None
+            # the seen-set is cheap (keys only) but still bounded
+            while len(self._seen) > 8 * self.max_entries:
+                self._seen.pop(next(iter(self._seen)))
+            return
+        self._data[key] = result
+        while len(self._data) > self.max_entries:
+            self._data.pop(next(iter(self._data)))
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "entries": len(self._data),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }
+
+    def clear(self) -> None:
+        self._data.clear()
+        self._seen.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_DEFAULT: Optional[SimMemo] = None
+
+
+def default_memo() -> SimMemo:
+    """The process-wide memo that ``simulate(...)`` consults by default."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = SimMemo(max_entries=256, store_on_first_miss=False)
+    return _DEFAULT

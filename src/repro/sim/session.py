@@ -42,13 +42,14 @@ from __future__ import annotations
 
 import dataclasses
 import heapq
-import random
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.compiler.program import CommandKind, Engine, Program
 from repro.hw.config import NPUConfig
+from repro.sim import memo as memo_mod
 from repro.sim.bus import FluidBus
-from repro.sim.simulator import _plan_for, _SimPlan
+from repro.sim.memo import USE_DEFAULT_MEMO, SimMemo
+from repro.sim.simulator import SimResult, _plan_for, _SimPlan
 from repro.sim.trace import Trace, TraceEvent
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -117,7 +118,7 @@ class _Active:
         "iid", "label", "meta", "program", "plan", "commands", "delay",
         "indeg", "done_at", "r_start", "r_own", "r_dep", "finished",
         "doomed", "qpos", "pqids", "completed", "num_doomed", "total",
-        "origin_us", "injected_at",
+        "origin_us", "injected_at", "solo", "memo_key",
     )
 
     def __init__(
@@ -150,16 +151,14 @@ class _Active:
         self.num_doomed = 0
         self.origin_us = origin_us
         self.injected_at = injected_at
-        # Same seeded coordination jitter as the one-shot simulators.
-        delay = plan.base_delay
-        if plan.jittered:
-            delay = list(delay)
-            rng = random.Random()
-            hi = seed << 32
-            for cid, bound in plan.jittered:
-                rng.seed(hi ^ (cid * 2654435761))
-                delay[cid] += rng.uniform(0.0, bound)
-        self.delay = delay
+        #: True while this injection provably replays a one-shot
+        #: ``simulate()`` bit-for-bit (solo in a fresh clean frame, no
+        #: partial bus advances); gates the memo fast path and store.
+        self.solo = False
+        self.memo_key: Optional[Tuple] = None
+        # Same seeded coordination jitter as the one-shot simulators
+        # (shared cached table; read-only).
+        self.delay = plan.delays_for(seed)
         # Position of each command within its plan queue (for dooming
         # in-order successors under core-offline faults).
         qpos = [0] * total
@@ -187,9 +186,18 @@ class SimSession:
         self,
         npu: NPUConfig,
         faults: "Optional[FaultPlan]" = None,
+        memo: Optional[SimMemo] = USE_DEFAULT_MEMO,  # type: ignore[assignment]
     ) -> None:
         self.npu = npu
         self.faults = faults if (faults is not None and not faults.is_empty) else None
+        if memo is USE_DEFAULT_MEMO:
+            memo = memo_mod.default_memo()
+        #: consulted (clean sessions only) when an injection lands solo
+        #: in a fresh frame -- exactly the case the reproducibility
+        #: contract pins to one-shot ``simulate()``, so cached one-shot
+        #: results can be delivered without running the event loop.
+        self.memo = memo
+        self._fast_iid: Optional[int] = None
         self.origin_us = 0.0
         self.clock = 0.0
         self._queues: List[_Queue] = []
@@ -293,8 +301,10 @@ class SimSession:
                 f"program targets {program.num_cores} cores, "
                 f"machine has {self.npu.num_cores}"
             )
+        solo = False
         if self.faults is None and not self._active:
             self._reset_frame(at_us)
+            solo = self.memo is not None
         else:
             target = self.npu.us_to_cycles(at_us - self.origin_us)
             if target < self.clock - 1e-6:
@@ -306,12 +316,22 @@ class SimSession:
                 self._run(limit=target, stop_on_completion=False)
                 if self.clock < target:
                     self.clock = target
+            # Overlapping injections end the solo-replay guarantee for
+            # everything in flight (their event interleaving diverges
+            # from any one-shot run).
+            for other in self._active.values():
+                other.solo = False
+            self._fast_iid = None
         plan = _plan_for(program, self.npu)
         iid = self._next_id
         self._next_id += 1
         inj = _Active(
             iid, program, plan, seed, label, meta, self.origin_us, self.clock
         )
+        if solo:
+            inj.solo = True
+            inj.memo_key = memo_mod.clean_key(program, self.npu, seed)
+            self._fast_iid = iid
         self._active[iid] = inj
 
         # Map plan queues onto session queues by (core, engine) and
@@ -454,6 +474,8 @@ class SimSession:
 
     def _finish_injection(self, iid: int, now: float) -> None:
         inj = self._active.pop(iid)
+        if self._fast_iid == iid:
+            self._fast_iid = None
         trace_fields = inj.plan.trace_fields
         events = [
             TraceEvent(
@@ -464,6 +486,13 @@ class SimSession:
             if inj.finished[cid]
         ]
         trace = Trace(events=sorted(events, key=lambda e: (e.start, e.cid)))
+        if inj.solo and self.memo is not None and inj.memo_key is not None:
+            # The frame replayed a one-shot simulate() bit-for-bit, so
+            # the outcome is exactly the clean entry for this key.
+            self.memo.put(
+                inj.memo_key,
+                SimResult(trace=trace, makespan_cycles=now, npu=self.npu),
+            )
         self._completions.append(
             InjectionOutcome(
                 injection_id=iid,
@@ -567,9 +596,67 @@ class SimSession:
             f"injections={labels[:8]}, running={stuck[:8]}"
         )
 
+    def _try_fast_path(self, limit: Optional[float]) -> bool:
+        """Deliver a memoized one-shot result for a solo fresh-frame
+        injection without running the event loop.
+
+        Only fires in the state the reproducibility contract covers:
+        clean session, exactly one injection, frame clock at zero,
+        nothing started yet (empty heap and bus), and no limit short of
+        the cached makespan.  Delivered traces are the shared memo
+        objects -- identical to what the loop would have produced.
+        """
+        iid = self._fast_iid
+        if iid is None or self.memo is None:
+            return False
+        inj = self._active.get(iid)
+        if (
+            inj is None
+            or not inj.solo
+            or inj.memo_key is None
+            or len(self._active) != 1
+            or self.clock != 0.0
+            or self._heap
+            or self._bus._active
+        ):
+            return False
+        result = self.memo.get(inj.memo_key)
+        if result is None:
+            return False
+        if limit is not None and limit < result.makespan_cycles:
+            return False
+        self._fast_iid = None
+        self._active.pop(iid)
+        # Retire this frame's queue entries (all enqueued at inject;
+        # the frame reset on the next idle inject clears them anyway).
+        for qid in inj.pqids:
+            q = self._queues[qid]
+            q.head = len(q.cids)
+            q.busy = False
+        self._check.clear()
+        self.clock = result.makespan_cycles
+        self._completions.append(
+            InjectionOutcome(
+                injection_id=iid,
+                label=inj.label,
+                origin_us=inj.origin_us,
+                injected_at_cycles=inj.injected_at,
+                completed_at_cycles=result.makespan_cycles,
+                trace=result.trace,
+                failed=False,
+                num_abandoned=0,
+                meta=inj.meta,
+            )
+        )
+        return True
+
     def _run(
         self, limit: Optional[float] = None, stop_on_completion: bool = False
     ) -> None:
+        if self._try_fast_path(limit):
+            if limit is not None and self.clock < limit and not stop_on_completion:
+                self.clock = limit
+            return
         heap = self._heap
         bus = self._bus
         bus_active = bus._active  # alias: skip property/len calls in the loop
@@ -596,7 +683,14 @@ class SimSession:
                 # (a partial advance; never taken by barrier-equivalent
                 # callers, who run each wave to completion instead).
                 dt = limit - self.clock
-                finished_dma = bus_advance(dt) if (bus_active and dt > 0) else ()
+                if bus_active and dt > 0:
+                    # A split advance changes the residual float chain,
+                    # so the frame no longer replays a one-shot run.
+                    for inj in self._active.values():
+                        inj.solo = False
+                    finished_dma = bus_advance(dt)
+                else:
+                    finished_dma = ()
                 self.clock = max(self.clock, limit)
                 for gid in finished_dma:
                     self._complete(gid, self.clock)

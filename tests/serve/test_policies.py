@@ -126,3 +126,61 @@ class TestPredictor:
     def test_single_core_group_uses_single_core_options(self, predictor):
         compiled = predictor.compiled_for("MobileNetV2", (2,))
         assert compiled.program.num_cores == 1
+
+
+class TestEmptyCoreGroup:
+    """Regression: ``cores or self.all_cores`` treated an *empty* group
+    like ``None`` and silently compiled -- and predicted -- for the whole
+    machine.  An empty group is a policy bug and must raise."""
+
+    def test_none_still_means_whole_machine(self, npu, predictor):
+        assert (
+            predictor.compiled_for("MobileNetV2", None)
+            is predictor.compiled_for("MobileNetV2", predictor.all_cores)
+        )
+
+    @pytest.mark.parametrize("method", ["compiled_for", "isolated_run", "predicted_latency_us"])
+    def test_empty_group_raises(self, predictor, method):
+        from repro.serve import PolicyError
+
+        with pytest.raises(PolicyError, match="empty core group"):
+            getattr(predictor, method)("MobileNetV2", ())
+
+    def test_gang_mode_surfaces_empty_group(self, npu, predictor):
+        """A buggy policy ranking a zero-core candidate used to get the
+        whole machine's latency; in gang mode it now fails loudly."""
+        from repro.serve import PolicyError, SchedulingPolicy, serve
+
+        class EmptyGroupPolicy(SchedulingPolicy):
+            name = "empty-group"
+
+            def plan(self, queue, npu, predictor, cores=None):
+                predictor.predicted_latency_us(queue[0].model, ())
+                return [(queue[0], cores or predictor.all_cores)]
+
+        with pytest.raises(PolicyError, match="empty core group"):
+            serve(
+                ["MobileNetV2"], npu, policy=EmptyGroupPolicy(),
+                predictor=predictor, rps=500.0, duration_us=4000.0, seed=0,
+            )
+
+    def test_continuous_mode_surfaces_empty_group(self, npu, predictor):
+        """Same bug through the backfill admission hook."""
+        from repro.serve import PolicyError, SchedulingPolicy, serve
+
+        class EmptyAdmitPolicy(SchedulingPolicy):
+            name = "empty-admit"
+
+            def plan(self, queue, npu, predictor, cores=None):
+                return [(queue[0], cores or predictor.all_cores)]
+
+            def admit(self, queue, npu, predictor, free_cores):
+                predictor.predicted_latency_us(queue[0].model, ())
+                return [(queue[0], free_cores)]
+
+        with pytest.raises(PolicyError, match="empty core group"):
+            serve(
+                ["MobileNetV2"], npu, policy=EmptyAdmitPolicy(),
+                predictor=predictor, rps=2000.0, duration_us=4000.0,
+                seed=0, mode="continuous",
+            )

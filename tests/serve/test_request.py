@@ -122,3 +122,41 @@ class TestPercentile:
     def test_bounds(self):
         with pytest.raises(ValueError):
             percentile([1.0], 101)
+
+    def test_nan_rejected(self):
+        # sorted() over NaN is arbitrary (every comparison is False), so
+        # an order statistic over it would be garbage presented as real.
+        nan = float("nan")
+        with pytest.raises(ValueError, match="NaN"):
+            percentile([1.0, nan, 3.0], 50)
+        with pytest.raises(ValueError, match="NaN"):
+            percentile([nan], 99)
+
+
+class TestBuildReport:
+    def _result(self, rid: int = 0) -> RequestResult:
+        return RequestResult(
+            request=Request(rid=rid, model="m", arrival_us=0.0, slo_us=0.0),
+            start_us=0.0, finish_us=100.0, cores=(0,), wave=0,
+        )
+
+    def _report(self, busy, makespan):
+        from repro.serve.metrics import build_report
+
+        return build_report(
+            policy="fifo", machine="t", models=("m",), seed=0, rps=1.0,
+            duration_us=100.0, results=[self._result()], num_waves=1,
+            busy_cycles=busy, makespan_cycles=makespan,
+            latency_us_per_cycle=1.0, verified_programs=1,
+        )
+
+    def test_utilization_clamped_to_unit_interval(self):
+        # Fault-retry accounting can charge a core more busy cycles than
+        # the surviving timeline's makespan; the report must still be a
+        # fraction.
+        rep = self._report(busy=[150.0, 50.0, -1.0], makespan=100.0)
+        assert rep.utilization == (1.0, 0.5, 0.0)
+
+    def test_zero_makespan_is_all_idle(self):
+        rep = self._report(busy=[10.0], makespan=0.0)
+        assert rep.utilization == (0.0,)

@@ -86,9 +86,28 @@ class TestAdvance:
             bus.add(0, 10, link_cap=1.0)
 
     def test_zero_byte_completes_immediately(self):
+        """A zero-byte add retires at add time: nothing is registered
+        (``add`` returns True) and there is nothing left to advance."""
         bus = FluidBus(10.0)
-        bus.add(0, 0, link_cap=5.0)
-        assert bus.advance(0.0) == [0]
+        assert bus.add(0, 0, link_cap=5.0) is True
+        assert bus.num_active == 0
+        assert bus.advance(0.0) == []
+
+    def test_zero_byte_add_leaves_rates_unchanged(self):
+        """In-flight transfer rates are not skewed by a zero-byte add.
+
+        Before the fix the zero-byte transfer was registered active and
+        took a water-filling share until the next ``advance`` retired
+        it; the two real transfers below would each have been squeezed
+        to 10/3 instead of keeping their fair 5.0 split.
+        """
+        bus = FluidBus(10.0)
+        assert bus.add(0, 1000, link_cap=100.0) is False
+        assert bus.add(1, 1000, link_cap=100.0) is False
+        before = bus.rates()
+        assert bus.add(2, 0, link_cap=100.0) is True
+        assert bus.rates() == before
+        assert bus.rates() == {0: 5.0, 1: 5.0}
 
     def test_force_min_completion(self):
         bus = FluidBus(10.0)
