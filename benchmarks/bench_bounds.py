@@ -1,0 +1,152 @@
+"""Static latency brackets vs simulated makespans over the zoo.
+
+For every zoo model under the four paper configurations, derive the
+analytic bracket (:mod:`repro.verify.bounds`), simulate, and record
+lb / sim / ub plus tightness (sim/lb).  Acceptance: every makespan
+falls inside its bracket, and the mean Base tightness stays <= 1.5 --
+the floor is close enough to the truth to pre-screen schedules with.
+
+Results merge into the ``"bounds"`` section of ``BENCH_sim.json`` at
+the repo root (and a text table lands under ``benchmarks/out/``).  Run
+standalone with ``python benchmarks/bench_bounds.py`` or through pytest
+with ``pytest benchmarks/bench_bounds.py --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List
+
+from repro.analysis import format_table
+from repro.compiler import CompileOptions, compile_model
+from repro.hw import exynos2100_like
+from repro.models import ZOO, get_model
+from repro.sim import simulate
+from repro.verify import bounds_for
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_sim.json"
+
+SEED = 0
+MEAN_BASE_TIGHTNESS_BUDGET = 1.5
+
+CONFIGS = (
+    ("1core", CompileOptions.single_core),
+    ("base", CompileOptions.base),
+    ("halo", CompileOptions.halo),
+    ("stratum", CompileOptions.stratum_config),
+)
+
+
+def collect(npu) -> Dict[str, object]:
+    records: List[Dict[str, object]] = []
+    for info in ZOO:
+        graph = get_model(info.name)
+        for config_name, factory in CONFIGS:
+            options = factory()
+            machine = npu.single_core() if options.is_single_core else npu
+            compiled = compile_model(graph, machine, options)
+            report = bounds_for(compiled.program, machine)
+            makespan = simulate(
+                compiled.program, machine, seed=SEED
+            ).makespan_cycles
+            records.append(
+                {
+                    "model": info.name,
+                    "config": config_name,
+                    "lower_bound_us": report.lower_bound_us,
+                    "simulated_us": machine.cycles_to_us(makespan),
+                    "upper_bound_us": report.upper_bound_us,
+                    "tightness": report.tightness(makespan),
+                    "binding": report.binding,
+                    "in_bracket": report.contains(makespan),
+                }
+            )
+    base = [r["tightness"] for r in records if r["config"] == "base"]
+    return {
+        "seed": SEED,
+        "records": records,
+        "mean_base_tightness": sum(base) / len(base),
+        "violations": sum(1 for r in records if not r["in_bracket"]),
+    }
+
+
+def _render(results: Dict[str, object]) -> str:
+    rows = [
+        [
+            r["model"],
+            r["config"],
+            f"{r['lower_bound_us']:.1f}",
+            f"{r['simulated_us']:.1f}",
+            f"{r['upper_bound_us']:.1f}",
+            f"{r['tightness']:.3f}",
+            r["binding"],
+            "ok" if r["in_bracket"] else "VIOLATION",
+        ]
+        for r in results["records"]
+    ]
+    table = format_table(
+        ["Model", "Config", "LB (us)", "Sim (us)", "UB (us)",
+         "sim/lb", "Binding", "Status"],
+        rows,
+        title=f"Static latency brackets (seed {results['seed']})",
+    )
+    return (
+        f"{table}\n\nmean Base tightness sim/lb: "
+        f"{results['mean_base_tightness']:.3f} "
+        f"(budget {MEAN_BASE_TIGHTNESS_BUDGET}), "
+        f"{results['violations']} violation(s)"
+    )
+
+
+def _persist(results: Dict[str, object]) -> None:
+    # Merge into the shared BENCH_sim.json (bench_sim_speed.py owns the
+    # top-level keys; this benchmark owns the "bounds" section).
+    merged: Dict[str, object] = {}
+    if RESULT_PATH.exists():
+        try:
+            merged = json.loads(RESULT_PATH.read_text())
+        except ValueError:
+            merged = {}
+    merged["bounds"] = results
+    RESULT_PATH.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+
+
+def _check(results: Dict[str, object]) -> None:
+    assert results["violations"] == 0, "simulated makespan escaped its bracket"
+    assert results["mean_base_tightness"] <= MEAN_BASE_TIGHTNESS_BUDGET
+
+
+def test_bounds_oracle(benchmark, npu, out_dir):
+    """Derives and cross-checks every bracket; asserts soundness and
+    the mean Base tightness budget."""
+    results = benchmark.pedantic(lambda: collect(npu), rounds=1, iterations=1)
+    benchmark.extra_info["mean_base_tightness"] = round(
+        float(results["mean_base_tightness"]), 3
+    )
+    benchmark.extra_info["violations"] = results["violations"]
+    _persist(results)
+
+    from benchmarks.conftest import emit
+
+    emit(out_dir, "bounds.txt", _render(results))
+    _check(results)
+
+
+def main() -> int:
+    npu = exynos2100_like()
+    results = collect(npu)
+    _persist(results)
+    print(_render(results))
+    print(f"\nwritten to {RESULT_PATH} (section 'bounds')")
+    try:
+        _check(results)
+    except AssertionError as exc:
+        print(f"FAILED acceptance check: {exc}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,7 +3,10 @@
 from repro.analysis.critical_path import (
     CriticalPath,
     critical_path,
+    engine_predecessors,
+    longest_path_times,
     render_critical_path,
+    walk_bindings,
 )
 from repro.analysis.export import to_chrome_trace, write_chrome_trace
 from repro.analysis.compare import (
@@ -59,7 +62,10 @@ __all__ = [
     "ConfigResult",
     "CriticalPath",
     "critical_path",
+    "engine_predecessors",
+    "longest_path_times",
     "render_critical_path",
+    "walk_bindings",
     "PartitioningProfile",
     "LayerProfile",
     "RegionSummary",

@@ -1,24 +1,143 @@
-"""Critical-path extraction from a simulated trace.
+"""Critical-path extraction: from a simulated trace or a static DAG.
 
-Walks backward from the last-finishing command, at each step following
-the constraint that *bound* the command's start time: a dependency that
-finished exactly then, or the same engine's previous command.  The
-resulting chain is the critical path -- shortening anything off it cannot
-improve the makespan.  Each segment is attributed to compute, DMA, halo,
-or synchronization, giving a one-line answer to "what should I optimize
-next?".
+Two consumers share the longest-path machinery here:
+
+* **trace mode** (:func:`critical_path`) walks backward from the
+  last-finishing command of a *simulated* trace, at each step following
+  the constraint that bound the command's start time: a dependency that
+  finished exactly then, or the same engine's previous command.  The
+  resulting chain is the critical path -- shortening anything off it
+  cannot improve the makespan.
+* **static mode** (:func:`longest_path_times`) runs the same DAG
+  forward with *analytic* durations and no simulation at all; the
+  bounds pass (:mod:`repro.verify.bounds`) uses it to compute latency
+  brackets and their binding chains.
+
+Both modes resolve ties identically: when several predecessors end
+within ``_EPS`` of a command's start, a dependency edge wins over the
+engine-order edge, the latest-ending dependency wins among
+dependencies, and remaining ties go to the smallest command id -- a
+deterministic rule, independent of the order deps were declared in.
+Each segment is attributed to compute, DMA, halo, or synchronization,
+giving a one-line answer to "what should I optimize next?".
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.compiler.program import CommandKind, Engine, Program
 from repro.hw.config import NPUConfig
 from repro.sim.trace import Trace, TraceEvent
 
 _EPS = 1e-6
+
+
+def category_of(kind: CommandKind) -> str:
+    """Optimization category of a command kind (compute/sync/halo/dma)."""
+    if kind is CommandKind.COMPUTE:
+        return "compute"
+    if kind is CommandKind.BARRIER:
+        return "sync"
+    if kind in (CommandKind.HALO_SEND, CommandKind.HALO_RECV):
+        return "halo"
+    return "dma"
+
+
+def engine_predecessors(program: Program) -> List[int]:
+    """In-queue predecessor of every command (-1 for queue heads).
+
+    Commands on one (core, engine) queue execute strictly in program
+    order, so each command has an implicit edge from its predecessor on
+    the same queue -- the edge set both the simulator and the static
+    longest path run over, alongside the explicit dependency edges.
+    """
+    prev = [-1] * len(program.commands)
+    last_on: Dict[Tuple[int, Engine], int] = {}
+    for cmd in program.commands:
+        key = (cmd.core, cmd.engine)
+        p = last_on.get(key)
+        if p is not None:
+            prev[cmd.cid] = p
+        last_on[key] = cmd.cid
+    return prev
+
+
+def _bind_dep(dep_ends: Sequence[Tuple[float, int]], start: float) -> Optional[int]:
+    """The dependency that deterministically binds ``start``, if any.
+
+    Among dependencies ending within ``_EPS`` of the start, pick the
+    latest-ending; break exact ties by the smallest command id.
+    """
+    best: Optional[Tuple[float, int]] = None
+    for end, cid in dep_ends:
+        if abs(end - start) <= _EPS:
+            key = (end, -cid)
+            if best is None or key > best:
+                best = key
+    return -best[1] if best is not None else None
+
+
+def longest_path_times(
+    program: Program,
+    durations: Sequence[float],
+    engine_prev: Optional[Sequence[int]] = None,
+) -> Tuple[List[float], List[float], List[Tuple[int, str]]]:
+    """Forward longest-path over dependency and engine-order edges.
+
+    Every command starts at the latest finish among its dependencies
+    and its in-queue predecessor -- exactly the simulator's start
+    recurrence, with ``durations`` standing in for simulated service
+    times.  Returns ``(starts, finishes, bindings)`` where
+    ``bindings[cid]`` is ``(predecessor cid or -1, bound_by)`` with
+    ``bound_by`` one of ``'dep'``/``'engine'``/``'ready'``, resolved by
+    the deterministic tie-break rule of this module.
+    """
+    commands = program.commands
+    n = len(commands)
+    if engine_prev is None:
+        engine_prev = engine_predecessors(program)
+    starts = [0.0] * n
+    finishes = [0.0] * n
+    bindings: List[Tuple[int, str]] = [(-1, "ready")] * n
+    for cmd in commands:
+        cid = cmd.cid
+        start = 0.0
+        for d in cmd.deps:
+            f = finishes[d]
+            if f > start:
+                start = f
+        p = engine_prev[cid]
+        if p >= 0 and finishes[p] > start:
+            start = finishes[p]
+        starts[cid] = start
+        finishes[cid] = start + durations[cid]
+        if start > _EPS:
+            dep = _bind_dep([(finishes[d], d) for d in cmd.deps], start)
+            if dep is not None:
+                bindings[cid] = (dep, "dep")
+            elif p >= 0 and abs(finishes[p] - start) <= _EPS:
+                bindings[cid] = (p, "engine")
+    return starts, finishes, bindings
+
+
+def walk_bindings(
+    bindings: Sequence[Tuple[int, str]], last: int
+) -> List[Tuple[int, str]]:
+    """Binding chain from ``last`` back to a source, last command first.
+
+    Each element is ``(cid, bound_by)``; predecessor ids strictly
+    decrease (dependencies and queue predecessors are always earlier),
+    so the walk terminates at a ``ready`` command.
+    """
+    chain: List[Tuple[int, str]] = []
+    cur = last
+    while cur >= 0:
+        pred, bound_by = bindings[cur]
+        chain.append((cur, bound_by))
+        cur = pred
+    return chain
 
 
 @dataclasses.dataclass(frozen=True)
@@ -31,14 +150,7 @@ class PathSegment:
 
     @property
     def category(self) -> str:
-        kind = self.event.kind
-        if kind is CommandKind.COMPUTE:
-            return "compute"
-        if kind is CommandKind.BARRIER:
-            return "sync"
-        if kind in (CommandKind.HALO_SEND, CommandKind.HALO_RECV):
-            return "halo"
-        return "dma"
+        return category_of(self.event.kind)
 
 
 @dataclasses.dataclass
@@ -78,16 +190,9 @@ def critical_path(program: Program, trace: Trace) -> CriticalPath:
         return CriticalPath(segments=[], makespan_cycles=0.0)
     events = {e.cid: e for e in trace.events}
     commands = {c.cid: c for c in program.commands}
+    engine_prev = engine_predecessors(program)
 
-    # engine predecessor in program order.
-    engine_prev: Dict[int, Optional[int]] = {}
-    last_on: Dict[Tuple[int, Engine], int] = {}
-    for cmd in program.commands:
-        key = (cmd.core, cmd.engine)
-        engine_prev[cmd.cid] = last_on.get(key)
-        last_on[key] = cmd.cid
-
-    current = max(trace.events, key=lambda e: e.end).cid
+    current: Optional[int] = max(trace.events, key=lambda e: e.end).cid
     segments: List[PathSegment] = []
     guard = 0
     while current is not None and guard <= len(events):
@@ -96,15 +201,14 @@ def critical_path(program: Program, trace: Trace) -> CriticalPath:
         cmd = commands[current]
         binding: Optional[int] = None
         bound_by = "ready"
-        # a dependency that completed exactly at our start binds us.
-        for dep in cmd.deps:
-            if abs(events[dep].end - e.start) <= _EPS:
-                binding = dep
-                bound_by = "dep"
-                break
-        if binding is None:
+        # a dependency that completed exactly at our start binds us;
+        # ties resolve deterministically (latest end, then lowest cid).
+        binding = _bind_dep([(events[d].end, d) for d in cmd.deps], e.start)
+        if binding is not None:
+            bound_by = "dep"
+        else:
             prev = engine_prev[current]
-            if prev is not None and abs(events[prev].end - e.start) <= _EPS:
+            if prev >= 0 and abs(events[prev].end - e.start) <= _EPS:
                 binding = prev
                 bound_by = "engine"
         if binding is None:

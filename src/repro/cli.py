@@ -9,6 +9,7 @@ Subcommands:
 * ``sweep``     -- the four paper configurations side by side (Fig. 11 row)
 * ``serve``     -- request-level serving simulation (queueing + SLOs)
 * ``lint``      -- statically verify compiled command streams
+* ``bounds``    -- analytic latency brackets vs simulated makespans
 * ``table4`` / ``table5`` -- regenerate those paper tables
 """
 
@@ -39,7 +40,7 @@ from repro.hw import resolve_machine
 from repro.models import ZOO, get_model, inception_v3_stem, model_names
 from repro.partition import PartitionPolicy
 from repro.sim import collect_stats, estimate_energy, simulate
-from repro.verify import PASS_NAMES
+from repro.verify import ALL_PASS_NAMES, PASS_NAMES
 
 CONFIGS = {
     "1core": CompileOptions.single_core,
@@ -284,6 +285,14 @@ def cmd_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+#: --fail-on level -> severities that flip the lint exit code to 1.
+_FAIL_LEVELS = {
+    "error": ("error",),
+    "warning": ("error", "warning"),
+    "info": ("error", "warning", "info"),
+}
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     import json
 
@@ -300,33 +309,136 @@ def cmd_lint(args: argparse.Namespace) -> int:
             options = CONFIGS[config_name]()
             machine = npu.single_core() if options.is_single_core else npu
             compiled = compile_model(graph, machine, options)
+            # With --trace, simulate first so the bounds pass (when
+            # selected) can cross-check the measured makespan against
+            # its static bracket (RPR702 / RPR710).
+            result = None
+            if args.trace:
+                result = simulate(compiled.program, machine, seed=args.seed)
             report = verify_model(
                 compiled,
                 passes=args.passes or None,
                 spm_tolerance=args.tolerance,
+                sim_result=result,
             )
-            if args.trace:
-                result = simulate(compiled.program, machine, seed=args.seed)
+            if result is not None:
                 report.passes.append(
                     check_trace(compiled.program, result.trace)
                 )
             reports.append(report)
 
+    failing = _FAIL_LEVELS[args.fail_on]
+    fail_count = sum(
+        1
+        for r in reports
+        if any(d.severity.value in failing for d in r.diagnostics)
+    )
     if args.json:
         print(json.dumps([r.to_dict() for r in reports], indent=2))
     else:
         for report in reports:
             print(report.render_text(verbose=args.verbose))
-        failed = sum(1 for r in reports if not r.ok)
         total_errors = sum(len(r.errors) for r in reports)
-        if failed:
+        total_warnings = sum(
+            1
+            for r in reports
+            for d in r.diagnostics
+            if d.severity.value == "warning"
+        )
+        if fail_count:
             print(
-                f"\n{failed}/{len(reports)} program(s) failed verification "
-                f"({total_errors} error(s))"
+                f"\n{fail_count}/{len(reports)} program(s) failed lint at "
+                f"--fail-on={args.fail_on} "
+                f"({total_errors} error(s), {total_warnings} warning(s))"
             )
         else:
-            print(f"\nall {len(reports)} program(s) verified clean")
-    return 0 if all(r.ok for r in reports) else 1
+            print(
+                f"\nall {len(reports)} program(s) clean at "
+                f"--fail-on={args.fail_on}"
+            )
+    return 1 if fail_count else 0
+
+
+def cmd_bounds(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.verify.bounds import bounds_for
+
+    npu = _machine(args.machine)
+    models = model_names() if args.model == "all" else [args.model]
+    config_names = (
+        ["1core", "base", "halo", "stratum"]
+        if args.config == "all"
+        else [args.config]
+    )
+
+    rows = []
+    records = []
+    violations = 0
+    for model_name in models:
+        graph = _graph(model_name)
+        for config_name in config_names:
+            options = CONFIGS[config_name]()
+            machine = npu.single_core() if options.is_single_core else npu
+            compiled = compile_model(graph, machine, options)
+            report = bounds_for(compiled.program, machine)
+            record = {
+                "model": model_name,
+                "config": config_name,
+                **report.to_dict(),
+            }
+            sim_cell = "-"
+            tight_cell = "-"
+            status = "static"
+            if not args.static:
+                result = simulate(compiled.program, machine, seed=args.seed)
+                makespan_us = machine.cycles_to_us(result.makespan_cycles)
+                record["simulated_us"] = makespan_us
+                record["tightness"] = report.tightness(result.makespan_cycles)
+                record["in_bracket"] = report.contains(result.makespan_cycles)
+                sim_cell = f"{makespan_us:.1f}"
+                tight_cell = f"{record['tightness']:.3f}"
+                if record["in_bracket"]:
+                    status = "ok"
+                else:
+                    status = "VIOLATION"
+                    violations += 1
+            records.append(record)
+            rows.append(
+                [
+                    model_name,
+                    config_name,
+                    f"{report.lower_bound_us:.1f}",
+                    sim_cell,
+                    f"{report.upper_bound_us:.1f}",
+                    tight_cell,
+                    report.binding,
+                    status,
+                ]
+            )
+
+    if args.json:
+        print(json.dumps(records, indent=2))
+    else:
+        print(
+            format_table(
+                ["Model", "Config", "LB (us)", "Sim (us)", "UB (us)",
+                 "sim/lb", "Binding", "Status"],
+                rows,
+                title=f"Static latency brackets on {npu.name} "
+                f"(seed {args.seed})",
+            )
+        )
+        if not args.static:
+            tights = [r["tightness"] for r in records if "tightness" in r]
+            if tights:
+                print(
+                    f"\nmean tightness sim/lb: "
+                    f"{sum(tights) / len(tights):.3f} over {len(tights)} runs"
+                )
+            if violations:
+                print(f"{violations} bracket violation(s)")
+    return 1 if violations else 0
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -517,12 +629,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="one configuration, or 'all' (default)",
     )
     p.add_argument(
-        "--passes", nargs="+", choices=list(PASS_NAMES), metavar="PASS",
-        help=f"run only these passes (of {', '.join(PASS_NAMES)})",
+        "--passes", nargs="+", choices=list(ALL_PASS_NAMES), metavar="PASS",
+        help=f"run only these passes (of {', '.join(ALL_PASS_NAMES)}; "
+        "default: the correctness six -- bounds and perflint are opt-in)",
     )
     p.add_argument(
         "--trace", action="store_true",
-        help="also simulate and cross-check the trace (RPR6xx)",
+        help="also simulate and cross-check the trace (RPR6xx) and, with "
+        "the bounds pass, the measured makespan against its bracket",
+    )
+    p.add_argument(
+        "--fail-on", choices=["error", "warning", "info"], default="error",
+        help="lowest severity that makes the exit code nonzero "
+        "(default: error)",
     )
     p.add_argument("--tolerance", type=float, default=1.0,
                    help="SPM capacity tolerance factor")
@@ -530,6 +649,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true",
                    help="print per-pass statistics")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "bounds", help="analytic latency brackets vs simulated makespans"
+    )
+    p.add_argument(
+        "model",
+        help=f"one of {model_names()}, 'stem', or 'all' for the whole zoo",
+    )
+    p.add_argument("--machine", default="exynos2100")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--config", choices=sorted(CONFIGS) + ["all"], default="all",
+        help="one configuration, or 'all' for the four paper configs "
+        "(default)",
+    )
+    p.add_argument(
+        "--static", action="store_true",
+        help="derive brackets only; skip the simulation cross-check",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=cmd_bounds)
 
     p = sub.add_parser(
         "serve", help="request-level serving simulation (queueing + SLOs)"

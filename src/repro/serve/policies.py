@@ -224,6 +224,14 @@ class DynamicPolicy(SchedulingPolicy):
             pattern = tuple(
                 (r.model, g) for r, g in zip(picked, groups)
             )
+            # Static pre-screen: the analytic lower bound caps a wave's
+            # achievable throughput at width / lb.  When even that loses
+            # to (or only ties) the incumbent, the measured wave cannot
+            # win -- the winner update below is strictly ``>`` -- so the
+            # simulation is skipped without changing any decision.
+            lb_us = predictor.wave_bound_us(pattern)[0]
+            if lb_us > 0.0 and width / lb_us <= best_throughput:
+                continue
             wave_us = predictor.wave_latency_us(pattern)
             throughput = width / wave_us
             if throughput > best_throughput:

@@ -14,7 +14,7 @@ other consumer of the same (program, machine, seed) triple.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.compiler.cache import ProgramCache, compile_cached
 from repro.compiler.compiler import CompiledModel
@@ -27,6 +27,9 @@ from repro.sim import memo as memo_mod
 from repro.sim.memo import USE_DEFAULT_MEMO, SimMemo
 from repro.sim.multitenant import merge_programs, sub_machine
 from repro.sim.simulator import SimResult, simulate
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.verify.bounds import BoundsReport
 
 #: one wave's shape: ((model, core group), ...) -- request identities
 #: erased, so equal shapes share compiled artifacts and estimates.
@@ -167,3 +170,41 @@ class LatencyPredictor:
         return simulate(
             self.merged_for(pattern), self.npu, seed=self.seed, memo=self.memo
         ).latency_us
+
+    # ---- static bounds fast path -----------------------------------
+
+    def bound(
+        self, model: str, cores: Optional[Tuple[int, ...]] = None
+    ) -> "BoundsReport":
+        """The model's analytic latency bracket on its group.
+
+        No simulation: two longest-path sweeps over the compiled
+        program (:func:`repro.verify.bounds.bounds_for`, cached per
+        program x machine), so policies can pre-screen candidates
+        orders of magnitude cheaper than :meth:`isolated_run`.
+        """
+        from repro.verify.bounds import bounds_for
+
+        cores = self._resolve_cores(cores)
+        compiled = self.compiled_for(model, cores)
+        return bounds_for(compiled.program, self.machine_for(cores))
+
+    def bound_us(
+        self, model: str, cores: Optional[Tuple[int, ...]] = None
+    ) -> Tuple[float, float]:
+        """``(lower, upper)`` latency bracket of ``model`` in microseconds."""
+        report = self.bound(model, cores)
+        return (report.lower_bound_us, report.upper_bound_us)
+
+    def wave_bound_us(self, pattern: WavePattern) -> Tuple[float, float]:
+        """``(lower, upper)`` bracket of one merged wave in microseconds.
+
+        The bracket covers the merged program's bus contention (the
+        aggregate-traffic floor sees every tenant's bytes), so a wave
+        whose *optimistic* throughput already loses to the incumbent
+        can be rejected without simulating it.
+        """
+        from repro.verify.bounds import bounds_for
+
+        report = bounds_for(self.merged_for(pattern), self.npu)
+        return (report.lower_bound_us, report.upper_bound_us)

@@ -187,9 +187,21 @@ class SimSession:
         npu: NPUConfig,
         faults: "Optional[FaultPlan]" = None,
         memo: Optional[SimMemo] = USE_DEFAULT_MEMO,  # type: ignore[assignment]
+        check_bounds: bool = False,
     ) -> None:
         self.npu = npu
         self.faults = faults if (faults is not None and not faults.is_empty) else None
+        if check_bounds and self.faults is not None:
+            raise ValueError(
+                "check_bounds applies to clean sessions only: fault "
+                "injection escapes the static bracket"
+            )
+        #: Assert solo fresh-frame injections (the case that replays a
+        #: one-shot ``simulate()`` bit-for-bit) against their static
+        #: latency bracket (:mod:`repro.verify.bounds`).  Overlapping
+        #: injections contend for cores and the bus, so per-program
+        #: brackets do not apply there.
+        self.check_bounds = check_bounds
         if memo is USE_DEFAULT_MEMO:
             memo = memo_mod.default_memo()
         #: consulted (clean sessions only) when an injection lands solo
@@ -486,6 +498,12 @@ class SimSession:
             if inj.finished[cid]
         ]
         trace = Trace(events=sorted(events, key=lambda e: (e.start, e.cid)))
+        if inj.solo and self.check_bounds:
+            from repro.verify.bounds import bounds_for
+
+            bounds_for(inj.program, self.npu).assert_contains(
+                now, context=f"session injection {inj.label!r}"
+            )
         if inj.solo and self.memo is not None and inj.memo_key is not None:
             # The frame replayed a one-shot simulate() bit-for-bit, so
             # the outcome is exactly the clean entry for this key.
@@ -625,6 +643,13 @@ class SimSession:
             return False
         if limit is not None and limit < result.makespan_cycles:
             return False
+        if self.check_bounds:
+            from repro.verify.bounds import bounds_for
+
+            bounds_for(inj.program, self.npu).assert_contains(
+                result.makespan_cycles,
+                context=f"memoized session injection {inj.label!r}",
+            )
         self._fast_iid = None
         self._active.pop(iid)
         # Retire this frame's queue entries (all enqueued at inject;

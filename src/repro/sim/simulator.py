@@ -269,6 +269,7 @@ def simulate(
     seed: int = 0,
     faults: "Optional[FaultPlan]" = None,
     memo: Optional[SimMemo] = USE_DEFAULT_MEMO,  # type: ignore[assignment]
+    check_bounds: bool = False,
 ) -> SimResult:
     """Run ``program`` to completion and return the trace.
 
@@ -286,8 +287,19 @@ def simulate(
     pass ``None`` to force a fresh run (benchmarks measuring raw core
     speed do) or a private :class:`~repro.sim.memo.SimMemo` to isolate
     an experiment's cache.  Memoized results are shared objects.
+
+    ``check_bounds=True`` asserts the makespan against the program's
+    static latency bracket (:mod:`repro.verify.bounds`), raising
+    :class:`~repro.verify.bounds.BoundsViolation` on escape -- the
+    oracle that guards rewrites of this hot loop.  Faulted runs
+    deliberately violate the bracket, so combining the two is refused.
     """
     if faults is not None and not faults.is_empty:
+        if check_bounds:
+            raise ValueError(
+                "check_bounds applies to clean runs only: fault injection "
+                "(throttling, stalls, core death) escapes the static bracket"
+            )
         from repro.faults.engine import simulate_faulted
 
         return simulate_faulted(program, npu, seed=seed, plan=faults, memo=memo)
@@ -297,14 +309,20 @@ def simulate(
         )
     if memo is USE_DEFAULT_MEMO:
         memo = memo_mod.default_memo()
+    result = None
     if memo is not None:
         key = memo_mod.clean_key(program, npu, seed)
-        cached = memo.get(key)
-        if cached is not None:
-            return cached
-    result = _simulate_clean(program, npu, seed)
-    if memo is not None:
-        memo.put(key, result)
+        result = memo.get(key)
+    if result is None:
+        result = _simulate_clean(program, npu, seed)
+        if memo is not None:
+            memo.put(key, result)
+    if check_bounds:
+        from repro.verify.bounds import bounds_for
+
+        bounds_for(program, npu).assert_contains(
+            result.makespan_cycles, context=f"seed {seed} on {npu.name}"
+        )
     return result
 
 

@@ -7,6 +7,13 @@ promises over the compiled program -- see :func:`verify_model` and
 ``python -m repro lint``.
 """
 
+from repro.verify.bounds import (
+    BoundsReport,
+    BoundsViolation,
+    bounds_for,
+    check_bounds_pass,
+    compute_bounds,
+)
 from repro.verify.diagnostics import (
     Diagnostic,
     PassResult,
@@ -14,6 +21,7 @@ from repro.verify.diagnostics import (
     VerifyReport,
     merge_reports,
 )
+from repro.verify.perflint import check_perflint
 from repro.verify.halo_check import check_halo
 from repro.verify.hb import HappensBefore
 from repro.verify.liveness import check_liveness
@@ -29,16 +37,22 @@ from repro.verify.structure import check_structure
 from repro.verify.stratum_check import check_strata
 from repro.verify.tracecheck import check_trace
 from repro.verify.verifier import (
+    ALL_PASS_NAMES,
     PASS_NAMES,
+    PERF_PASS_NAMES,
     VerificationError,
     verify_model,
     verify_program,
 )
 
 __all__ = [
+    "ALL_PASS_NAMES",
+    "BoundsReport",
+    "BoundsViolation",
     "Diagnostic",
     "HappensBefore",
     "PASS_NAMES",
+    "PERF_PASS_NAMES",
     "PassResult",
     "Severity",
     "SpmUsage",
@@ -46,13 +60,17 @@ __all__ = [
     "VerificationError",
     "VerifyReport",
     "audit_spm",
+    "bounds_for",
+    "check_bounds_pass",
     "check_halo",
     "check_liveness",
+    "check_perflint",
     "check_races",
     "check_spm",
     "check_strata",
     "check_structure",
     "check_trace",
+    "compute_bounds",
     "merge_reports",
     "peak_spm_per_core",
     "verify_model",

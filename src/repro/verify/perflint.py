@@ -1,0 +1,334 @@
+"""Performance lint over compiled command streams (RPR8xx).
+
+Where the bounds pass (:mod:`repro.verify.bounds`) prices a schedule,
+this pass pattern-matches the *shapes* that make schedules slow on a
+multicore NPU -- each rule is a static, simulation-free diagnostic with
+a stable code:
+
+========= ==========================================================
+RPR801    per-core compute imbalance above threshold
+RPR802    serialized halo chain on the static critical path
+RPR803    redundant barrier (removal proven safe via happens-before)
+RPR804    double-buffer stall: load[k] serialized behind compute[k-1]
+RPR805    sustained bus oversubscription window
+========= ==========================================================
+
+Every finding is a WARNING: the program is correct, it is just leaving
+latency on the table.  Thresholds are tuned so all shipped h1--h8
+compiler outputs over the model zoo lint clean; the corruption tests in
+``tests/verify/test_perflint.py`` pin that each rule still fires on a
+seeded bad schedule.
+
+The RPR803 proof is conservative and sound: a barrier group is only
+reported when (pre-filter) every dependency of every member is itself a
+barrier command, and (proof) rebuilding the happens-before relation on
+a copy of the program with the group's dependency edges stripped shows
+every ordering the group provided -- each (dependency, consumer) pair --
+still holds through other edges.  No false positives; exotic redundancy
+that fails the pre-filter is simply not reported.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from repro.compiler.program import CommandKind, Engine, Program
+from repro.cost.compute import compute_cycles
+from repro.verify.bounds import bounds_for
+from repro.verify.diagnostics import PassResult, Severity
+from repro.verify.hb import HappensBefore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.compiler.compiler import CompiledModel
+
+#: RPR801 fires when (max - min) / max per-core compute cycles exceeds
+#: this (across cores that run any compute at all).  Shipped h1-h8
+#: schedules on the heterogeneous exynos2100-like cores reach ~30%
+#: (whole-tile granularity + per-op launch overhead), so the threshold
+#: flags only genuinely lopsided partitions.
+IMBALANCE_THRESHOLD = 0.40
+
+#: RPR802 fires on this many *consecutive* halo commands on the static
+#: lower-bound critical path (send -> recv pairs chain in twos; three or
+#: more means cross-core halo traffic has serialized).
+HALO_CHAIN_MIN = 3
+
+#: RPR805 fires when instantaneous DMA-link demand exceeds the bus
+#: bandwidth by this factor ...  (shipped schedules peak at ~1.64x for
+#: under 30% of the makespan, so both gates must trip together)
+BUS_OVERSUB_RATIO = 2.0
+#: ... for at least this fraction of the optimistic makespan.
+BUS_OVERSUB_FRACTION = 0.4
+
+_LOAD_KINDS = (CommandKind.LOAD_INPUT, CommandKind.LOAD_WEIGHT)
+_HALO_KINDS = (CommandKind.HALO_SEND, CommandKind.HALO_RECV)
+
+
+def _check_imbalance(compiled: "CompiledModel", result: PassResult) -> None:
+    """RPR801: per-core compute work spread."""
+    npu = compiled.npu
+    per_core: Dict[int, float] = {}
+    for cmd in compiled.program.commands:
+        if cmd.kind is CommandKind.COMPUTE and cmd.macs > 0:
+            per_core[cmd.core] = per_core.get(cmd.core, 0.0) + compute_cycles(
+                cmd.macs, npu.core(cmd.core)
+            )
+    if len(per_core) < 2:
+        result.stats["compute_imbalance_pct"] = 0
+        return
+    hi = max(per_core.values())
+    lo = min(per_core.values())
+    imbalance = (hi - lo) / hi if hi > 0 else 0.0
+    result.stats["compute_imbalance_pct"] = int(round(imbalance * 100))
+    if imbalance > IMBALANCE_THRESHOLD:
+        slow = max(per_core, key=lambda c: (per_core[c], -c))
+        fast = min(per_core, key=lambda c: (per_core[c], c))
+        result.emit(
+            "RPR801",
+            f"compute imbalance {imbalance:.0%} across cores: core {slow} "
+            f"runs {per_core[slow]:,.0f} cycles vs {per_core[fast]:,.0f} on "
+            f"core {fast} (threshold {IMBALANCE_THRESHOLD:.0%})",
+            severity=Severity.WARNING,
+            core=slow,
+            hint="repartition sub-layers toward the idle cores "
+            "(per-core shares should track effective MACs/cycle)",
+        )
+
+
+def _check_halo_chains(compiled: "CompiledModel", result: PassResult) -> None:
+    """RPR802: consecutive halo commands on the static critical path."""
+    commands = compiled.program.commands
+    report = bounds_for(compiled.program, compiled.npu)
+    longest = 0
+    run: List[int] = []
+    flagged: List[List[int]] = []
+    # path_cids is last-command-first; chain order does not matter for
+    # run detection.
+    for cid in report.path_cids:
+        if commands[cid].kind in _HALO_KINDS:
+            run.append(cid)
+        else:
+            if len(run) >= HALO_CHAIN_MIN:
+                flagged.append(run)
+            longest = max(longest, len(run))
+            run = []
+    if len(run) >= HALO_CHAIN_MIN:
+        flagged.append(run)
+    longest = max(longest, len(run))
+    result.stats["halo_chain_longest"] = longest
+    for chain in flagged:
+        head = commands[chain[-1]]  # earliest command of the run
+        result.emit(
+            "RPR802",
+            f"{len(chain)} consecutive halo exchanges on the critical path "
+            f"starting at {head.layer or '#' + str(head.cid)}",
+            severity=Severity.WARNING,
+            layer=head.layer,
+            core=head.core,
+            cid=head.cid,
+            hint="serialized halo traffic: inflate tiles (redundant "
+            "compute) or re-partition so exchanges overlap compute",
+        )
+
+
+def _barrier_groups(program: Program) -> Dict[Tuple[str, str], List[int]]:
+    groups: Dict[Tuple[str, str], List[int]] = {}
+    for cmd in program.commands:
+        if cmd.kind is CommandKind.BARRIER:
+            groups.setdefault((cmd.layer, cmd.tag), []).append(cmd.cid)
+    return groups
+
+
+def _check_redundant_barriers(
+    compiled: "CompiledModel", result: PassResult
+) -> None:
+    """RPR803: barrier groups whose removal is provably safe."""
+    program = compiled.program
+    commands = program.commands
+    consumers: Dict[int, List[int]] = {}
+    for cmd in commands:
+        for d in cmd.deps:
+            consumers.setdefault(d, []).append(cmd.cid)
+
+    redundant = 0
+    for (layer, tag), members in sorted(_barrier_groups(program).items()):
+        member_set = set(members)
+        # Pre-filter: the group only re-synchronizes other barriers --
+        # the one shape where removal can be cheaply proven safe.
+        deps = [
+            d
+            for b in members
+            for d in commands[b].deps
+            if d not in member_set
+        ]
+        if not deps or any(
+            commands[d].kind is not CommandKind.BARRIER for d in deps
+        ):
+            continue
+        provided = [
+            (d, x)
+            for b in members
+            for d in commands[b].deps
+            if d not in member_set
+            for x in consumers.get(b, ())
+            if x not in member_set
+        ]
+        # Proof: strip the group's edges and re-derive happens-before.
+        stripped = Program(
+            num_cores=program.num_cores,
+            commands=[
+                dataclasses.replace(
+                    cmd,
+                    deps=()
+                    if cmd.cid in member_set
+                    else tuple(d for d in cmd.deps if d not in member_set),
+                )
+                for cmd in commands
+            ],
+        )
+        hb2 = HappensBefore(stripped)
+        if all(hb2.ordered(d, x) for d, x in provided):
+            redundant += 1
+            head = commands[members[0]]
+            result.emit(
+                "RPR803",
+                f"barrier group ({layer!r}, {tag!r}) over {len(members)} "
+                "core(s) is redundant: every ordering it provides already "
+                "holds without it",
+                severity=Severity.WARNING,
+                layer=layer,
+                core=head.core,
+                cid=head.cid,
+                hint="remove the barrier; the happens-before relation of "
+                "the remaining edges is unchanged",
+            )
+    result.stats["redundant_barriers"] = redundant
+
+
+def _check_double_buffer(
+    compiled: "CompiledModel", hb: HappensBefore, result: PassResult
+) -> None:
+    """RPR804: load[k] ordered after compute[k-1] within one layer."""
+    program = compiled.program
+    commands = program.commands
+    stalls = 0
+    flagged: set = set()
+    for (core, engine), queue in program.per_engine_queues().items():
+        if engine is not Engine.COMPUTE:
+            continue
+        for prev, cur in zip(queue, queue[1:]):
+            if cur.layer != prev.layer:
+                continue  # double buffering applies within a layer's tiles
+            for d in cur.deps:
+                dep = commands[d]
+                if (
+                    dep.kind in _LOAD_KINDS
+                    and dep.num_bytes > 0
+                    and dep.core == core
+                    and hb.ordered(prev.cid, d)
+                ):
+                    stalls += 1
+                    if (core, cur.layer) not in flagged:
+                        flagged.add((core, cur.layer))
+                        result.emit(
+                            "RPR804",
+                            f"double-buffer stall: {dep.kind.value} #{d} for "
+                            f"compute #{cur.cid} cannot start until compute "
+                            f"#{prev.cid} finishes -- load and compute of "
+                            "consecutive tiles are serialized",
+                            severity=Severity.WARNING,
+                            layer=cur.layer,
+                            core=core,
+                            cid=d,
+                            hint="prefetch tile k during compute of tile k-1 "
+                            "(depend on compute[k-2], not compute[k-1])",
+                        )
+                    break
+    result.stats["double_buffer_stalls"] = stalls
+
+
+def _check_bus_oversubscription(
+    compiled: "CompiledModel", result: PassResult
+) -> None:
+    """RPR805: sustained DMA-link demand beyond the bus bandwidth.
+
+    Uses the optimistic (lower-bound) timeline: each ``bytes > 0``
+    transfer demands its link cap from the moment its fixed latency
+    elapses until its optimistic completion.  Demand above the bus
+    bandwidth means water-filling will throttle transfers; a schedule
+    that oversubscribes by :data:`BUS_OVERSUB_RATIO` for
+    :data:`BUS_OVERSUB_FRACTION` of its best-case makespan is leaving
+    the bus as its bottleneck.
+    """
+    from repro.analysis.critical_path import longest_path_times
+    from repro.verify.bounds import _durations
+
+    program = compiled.program
+    npu = compiled.npu
+    commands = program.commands
+    bw = npu.bus_bytes_per_cycle
+    result.stats["bus_peak_ratio_pct"] = 0
+    result.stats["bus_oversub_pct"] = 0
+    if bw <= 0 or not commands:
+        return
+    dma_queues = {
+        (c.core, c.engine) for c in commands if c.is_dma and c.num_bytes > 0
+    }
+    lo, _, _ = _durations(program, npu, len(dma_queues))
+    starts, finishes, _ = longest_path_times(program, lo)
+    makespan = max(finishes)
+    if makespan <= 0:
+        return
+
+    deltas: List[Tuple[float, float]] = []
+    for cmd in commands:
+        if not (cmd.is_dma and cmd.num_bytes > 0):
+            continue
+        begin = starts[cmd.cid] + npu.dram_latency_cycles + cmd.cycles
+        end = finishes[cmd.cid]
+        if end <= begin:
+            continue
+        cap = min(npu.core(cmd.core).dma_bytes_per_cycle, bw)
+        deltas.append((begin, cap))
+        deltas.append((end, -cap))
+    if not deltas:
+        return
+    deltas.sort()
+    demand = 0.0
+    peak = 0.0
+    over_time = 0.0
+    prev_t = deltas[0][0]
+    for t, delta in deltas:
+        if t > prev_t and demand > bw:
+            over_time += t - prev_t
+        prev_t = t
+        demand += delta
+        peak = max(peak, demand)
+    peak_ratio = peak / bw
+    over_fraction = over_time / makespan
+    result.stats["bus_peak_ratio_pct"] = int(round(peak_ratio * 100))
+    result.stats["bus_oversub_pct"] = int(round(over_fraction * 100))
+    if peak_ratio >= BUS_OVERSUB_RATIO and over_fraction >= BUS_OVERSUB_FRACTION:
+        result.emit(
+            "RPR805",
+            f"bus oversubscribed: peak DMA-link demand {peak_ratio:.1f}x "
+            f"the bus bandwidth for {over_fraction:.0%} of the best-case "
+            "makespan",
+            severity=Severity.WARNING,
+            hint="stagger transfers (smaller tiles, earlier prefetch) or "
+            "keep activations resident to cut concurrent DMA demand",
+        )
+
+
+def check_perflint(
+    compiled: "CompiledModel", hb: HappensBefore
+) -> PassResult:
+    """Run every RPR8xx rule over one compiled model."""
+    result = PassResult(name="perflint")
+    _check_imbalance(compiled, result)
+    _check_halo_chains(compiled, result)
+    _check_redundant_barriers(compiled, result)
+    _check_double_buffer(compiled, hb, result)
+    _check_bus_oversubscription(compiled, result)
+    return result

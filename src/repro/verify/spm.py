@@ -12,8 +12,8 @@ Stratum members execute tile-interleaved (fused), so their intermediate
 tensors occupy ring buffers rather than whole-tensor residents; they are
 checked with the same fused-working-set formula the stratum builder uses.
 
-This module absorbed ``repro.analysis.memcheck`` (which remains as a
-deprecation shim); :func:`check_spm` wraps the audit as a verifier pass.
+This module absorbed the old ``repro.analysis.memcheck`` audit (the
+deprecation shim is gone); :func:`check_spm` wraps it as a verifier pass.
 """
 
 from __future__ import annotations

@@ -17,19 +17,31 @@ stratum    no sync / no global traffic inside strata      RPR4xx
 halo       paired exchanges, exact tile coverage          RPR5xx
 ========== ============================================== =========
 
+Two opt-in *performance* passes extend the correctness six (select
+them explicitly via ``passes`` / ``repro lint --passes``; their
+informational and warning diagnostics would otherwise pollute clean
+correctness runs):
+
+========== ============================================== =========
+bounds     analytic latency bracket lb <= makespan <= ub  RPR7xx
+perflint   slow-schedule patterns (imbalance, stalls...)  RPR8xx
+========== ============================================== =========
+
 When the structure pass finds errors, the happens-before relation is
-not trustworthy, so the ordering passes (race, liveness) are skipped
-rather than reporting nonsense on a broken graph.
+not trustworthy, so the ordering passes (race, liveness, perflint) are
+skipped rather than reporting nonsense on a broken graph.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional, Sequence
 
+from repro.verify.bounds import check_bounds_pass
 from repro.verify.diagnostics import PassResult, VerifyReport
 from repro.verify.halo_check import check_halo
 from repro.verify.hb import HappensBefore
 from repro.verify.liveness import check_liveness
+from repro.verify.perflint import check_perflint
 from repro.verify.races import check_races
 from repro.verify.spm import check_spm
 from repro.verify.structure import check_structure
@@ -38,8 +50,14 @@ from repro.verify.stratum_check import check_strata
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.compiler.compiler import CompiledModel
 
-#: Registered pass names, in execution order.
+#: Registered correctness pass names, in execution order (the default set).
 PASS_NAMES = ("structure", "race", "liveness", "spm", "stratum", "halo")
+
+#: Opt-in performance passes (never part of the default run).
+PERF_PASS_NAMES = ("bounds", "perflint")
+
+#: Every selectable pass.
+ALL_PASS_NAMES = PASS_NAMES + PERF_PASS_NAMES
 
 
 class VerificationError(Exception):
@@ -79,14 +97,19 @@ def verify_model(
     compiled: "CompiledModel",
     passes: Optional[Sequence[str]] = None,
     spm_tolerance: float = 1.0,
+    sim_result=None,
 ) -> VerifyReport:
     """Statically verify one compiled model.
 
-    ``passes`` selects a subset of :data:`PASS_NAMES` (all by default);
-    ``spm_tolerance`` is forwarded to the capacity pass.
+    ``passes`` selects a subset of :data:`ALL_PASS_NAMES`; the default
+    is the correctness set :data:`PASS_NAMES` (the performance passes
+    ``bounds`` and ``perflint`` are opt-in).  ``spm_tolerance`` is
+    forwarded to the capacity pass; ``sim_result`` (a
+    :class:`~repro.sim.simulator.SimResult`) arms the bounds pass's
+    makespan cross-check (RPR702/RPR710).
     """
     selected = tuple(passes) if passes is not None else PASS_NAMES
-    unknown = set(selected) - set(PASS_NAMES)
+    unknown = set(selected) - set(ALL_PASS_NAMES)
     if unknown:
         raise ValueError(f"unknown verifier pass(es): {sorted(unknown)}")
 
@@ -121,4 +144,11 @@ def verify_model(
         report.passes.append(check_strata(compiled))
     if "halo" in selected:
         report.passes.append(check_halo(compiled))
+    if "bounds" in selected:
+        report.passes.append(check_bounds_pass(compiled, sim_result=sim_result))
+    if "perflint" in selected:
+        if hb is None:
+            report.passes.append(PassResult(name="perflint", skipped=True))
+        else:
+            report.passes.append(check_perflint(compiled, hb))
     return report

@@ -92,3 +92,61 @@ class TestRealPrograms:
         npu, compiled, sim = run
         path = critical_path(compiled.program, sim.trace)
         assert path.layers()
+
+
+class TestTieBreaking:
+    """Binding attribution is deterministic under exact timing ties.
+
+    Rule (shared by the trace walker and the static longest-path DP in
+    ``longest_path_times``): among predecessors finishing within EPS of
+    a command's start, a dependency beats the engine queue, and among
+    tied dependencies the latest-ending one wins with the smallest cid
+    as the final tie-break.
+    """
+
+    def _tied_program(self):
+        # c0 and c1 run identical work on identical cores, so both end
+        # at exactly the same instant; x depends on both AND queues
+        # behind c0 on core 0's compute engine -- a three-way tie.
+        b = ProgramBuilder(2)
+        c0 = b.add(0, CommandKind.COMPUTE, macs=640)
+        c1 = b.add(1, CommandKind.COMPUTE, macs=640)
+        x = b.add(0, CommandKind.COMPUTE, deps=[c0, c1], macs=640)
+        return b.build(), c0, c1, x
+
+    def test_trace_mode_prefers_dep_smallest_cid(self):
+        program, c0, c1, x = self._tied_program()
+        npu = tiny_test_machine(2)
+        trace = simulate(program, npu).trace
+        path = critical_path(program, trace)
+        assert path.segments[0].event.cid == x
+        # dep beats engine; among the tied deps c0 < c1 wins.
+        assert path.segments[0].bound_by == "dep"
+        assert path.segments[1].event.cid == c0
+
+    def test_static_mode_matches_trace_mode(self):
+        from repro.analysis import longest_path_times, walk_bindings
+
+        program, c0, c1, x = self._tied_program()
+        durations = [10.0, 10.0, 10.0]
+        starts, finishes, bindings = longest_path_times(program, durations)
+        assert starts[x] == pytest.approx(10.0)
+        assert bindings[x] == (c0, "dep")
+        last = max(range(3), key=lambda c: (finishes[c], -c))
+        chain = walk_bindings(bindings, last)
+        cids = [cid for cid, _ in chain]
+        assert cids == sorted(cids, reverse=True)  # strictly decreasing
+        assert cids == [x, c0]
+
+    def test_repeated_extraction_is_stable(self):
+        program, *_ = self._tied_program()
+        npu = tiny_test_machine(2)
+        trace = simulate(program, npu).trace
+        a = critical_path(program, trace)
+        b2 = critical_path(program, trace)
+        assert [s.event.cid for s in a.segments] == [
+            s.event.cid for s in b2.segments
+        ]
+        assert [s.bound_by for s in a.segments] == [
+            s.bound_by for s in b2.segments
+        ]

@@ -63,20 +63,20 @@ class TestAudit:
         v = SpmViolation(usage=usages[0], capacity=1)
         assert "SPM" in str(v)
 
-    def test_memcheck_shim_warns_and_reexports(self):
+    def test_memcheck_shim_removed(self):
+        # The deprecated repro.analysis.memcheck shim (absorbed into
+        # repro.verify.spm in PR 2) is gone; the supported imports are
+        # repro.verify (canonical) and the repro.analysis re-export.
         import importlib
-        import sys
-        import warnings
 
-        sys.modules.pop("repro.analysis.memcheck", None)
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            shim = importlib.import_module("repro.analysis.memcheck")
-        assert any(w.category is DeprecationWarning for w in caught)
+        import pytest
+
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro.analysis.memcheck")
+        from repro import analysis
         from repro.verify import spm
 
-        assert shim.audit_spm is spm.audit_spm
-        assert shim.SpmUsage is spm.SpmUsage
+        assert analysis.audit_spm is spm.audit_spm
 
     def test_peak_per_core(self):
         npu = machine()

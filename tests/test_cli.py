@@ -121,7 +121,7 @@ class TestLint:
     def test_lint_all_configs_clean(self, capsys):
         assert main(["lint", "stem"]) == 0
         out = capsys.readouterr().out
-        assert "verified clean" in out
+        assert "clean at --fail-on=error" in out
         for label in ("1-core", "Base", "+Halo", "+Stratum"):
             assert label in out
 
@@ -158,7 +158,61 @@ class TestLint:
         )
         assert code == 1
         out = capsys.readouterr().out
-        assert "RPR310" in out and "failed verification" in out
+        assert "RPR310" in out and "failed lint" in out
+
+    def test_lint_perf_passes(self, capsys):
+        assert (
+            main(
+                ["lint", "stem", "--config", "stratum",
+                 "--passes", "bounds", "perflint", "--trace", "--verbose"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "pass bounds" in out and "pass perflint" in out
+        assert "RPR701" in out and "RPR702" in out
+
+    def test_lint_fail_on_severity_ladder(self, capsys):
+        # The bounds pass always emits informational RPR701: clean at
+        # the default and warning levels, nonzero at --fail-on=info.
+        base = ["lint", "stem", "--config", "base", "--passes", "bounds"]
+        assert main(base) == 0
+        assert main(base + ["--fail-on", "warning"]) == 0
+        code = main(base + ["--fail-on", "info"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "failed lint at --fail-on=info" in out
+
+
+class TestBounds:
+    def test_bounds_table(self, capsys):
+        assert main(["bounds", "stem"]) == 0
+        out = capsys.readouterr().out
+        assert "Static latency brackets" in out
+        assert "mean tightness" in out
+        for config in ("1core", "base", "halo", "stratum"):
+            assert config in out
+
+    def test_bounds_one_config_json(self, capsys):
+        assert (
+            main(["bounds", "stem", "--config", "base", "--json"]) == 0
+        )
+        data = json.loads(capsys.readouterr().out)
+        assert len(data) == 1
+        rec = data[0]
+        assert rec["in_bracket"] is True
+        assert (
+            rec["lower_bound_us"]
+            <= rec["simulated_us"]
+            <= rec["upper_bound_us"]
+        )
+        assert rec["tightness"] >= 1.0
+
+    def test_bounds_static_skips_simulation(self, capsys):
+        assert main(["bounds", "stem", "--config", "base", "--static"]) == 0
+        out = capsys.readouterr().out
+        assert "static" in out
+        assert "mean tightness" not in out
 
 
 class TestServe:

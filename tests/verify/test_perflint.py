@@ -1,0 +1,220 @@
+"""The performance lint (RPR8xx) fires on seeded bad schedules only.
+
+Two halves: every rule must catch its hand-built pathological program,
+and every rule must stay silent on the compiler's shipped outputs --
+the thresholds exist precisely so real h1--h8 schedules over the zoo
+lint clean while genuinely lopsided ones do not.
+"""
+
+from __future__ import annotations
+
+import types
+
+import pytest
+
+from repro.compiler import CompileOptions
+from repro.compiler.program import CommandKind, ProgramBuilder
+from repro.hw import tiny_test_machine
+from repro.models import ZOO
+from repro.verify import HappensBefore
+from repro.verify.perflint import (
+    BUS_OVERSUB_RATIO,
+    HALO_CHAIN_MIN,
+    IMBALANCE_THRESHOLD,
+    check_perflint,
+)
+
+from tests.sim.test_scheduler_equivalence import _program_for
+
+
+def lint(program, npu):
+    """Run the perflint pass over a bare (program, machine) pair."""
+    compiled = types.SimpleNamespace(program=program, npu=npu)
+    return check_perflint(compiled, HappensBefore(program))
+
+
+def codes(result):
+    return sorted({d.code for d in result.diagnostics})
+
+
+# ---- RPR801: compute imbalance --------------------------------------
+
+
+def test_imbalanced_partition_flagged():
+    b = ProgramBuilder(2)
+    b.add(0, CommandKind.COMPUTE, macs=1_000_000, layer="conv")
+    b.add(1, CommandKind.COMPUTE, macs=1_000, layer="conv")
+    result = lint(b.build(), tiny_test_machine(2))
+    assert "RPR801" in codes(result)
+    assert result.stats["compute_imbalance_pct"] > IMBALANCE_THRESHOLD * 100
+    (diag,) = [d for d in result.diagnostics if d.code == "RPR801"]
+    assert diag.core == 0  # the overloaded core is the locus
+
+
+def test_balanced_partition_clean():
+    b = ProgramBuilder(2)
+    b.add(0, CommandKind.COMPUTE, macs=500_000, layer="conv")
+    b.add(1, CommandKind.COMPUTE, macs=500_000, layer="conv")
+    result = lint(b.build(), tiny_test_machine(2))
+    assert "RPR801" not in codes(result)
+    assert result.stats["compute_imbalance_pct"] == 0
+
+
+def test_single_active_core_not_imbalance():
+    b = ProgramBuilder(2)
+    b.add(0, CommandKind.COMPUTE, macs=1_000_000, layer="conv")
+    result = lint(b.build(), tiny_test_machine(2))
+    assert "RPR801" not in codes(result)
+
+
+# ---- RPR802: serialized halo chains ---------------------------------
+
+
+def test_serialized_halo_chain_flagged():
+    b = ProgramBuilder(2)
+    prev = None
+    for i in range(HALO_CHAIN_MIN + 1):
+        kind = CommandKind.HALO_SEND if i % 2 == 0 else CommandKind.HALO_RECV
+        prev = b.add(
+            i % 2, kind,
+            deps=[prev] if prev is not None else [],
+            num_bytes=50_000, layer=f"l{i}",
+        )
+    result = lint(b.build(), tiny_test_machine(2))
+    assert "RPR802" in codes(result)
+    assert result.stats["halo_chain_longest"] >= HALO_CHAIN_MIN
+
+
+def test_paired_halo_exchange_clean():
+    # A single send->recv pair (the shipped pattern) stays under the
+    # chain threshold.
+    b = ProgramBuilder(2)
+    s = b.add(0, CommandKind.HALO_SEND, num_bytes=50_000, layer="l0")
+    b.add(1, CommandKind.HALO_RECV, deps=[s], num_bytes=50_000, layer="l0")
+    result = lint(b.build(), tiny_test_machine(2))
+    assert "RPR802" not in codes(result)
+    assert result.stats["halo_chain_longest"] == 2
+
+
+# ---- RPR803: redundant barriers -------------------------------------
+
+
+def _with_redundant_barrier():
+    b = ProgramBuilder(2)
+    b.add(0, CommandKind.COMPUTE, macs=10_000, layer="a")
+    b.add(1, CommandKind.COMPUTE, macs=10_000, layer="a")
+    bar = b.barrier(cycles=10.0, layer="a", tag="sync")
+    # A second back-to-back barrier whose only dependencies are the
+    # first barrier, and whose consumers already depend on the first
+    # barrier directly: every ordering it provides holds without it.
+    dup = [
+        b.add(
+            core, CommandKind.BARRIER, deps=bar,
+            cycles=10.0, layer="a", tag="dup",
+        )
+        for core in range(2)
+    ]
+    b.add(0, CommandKind.COMPUTE, deps=bar + dup, macs=10_000, layer="b")
+    b.add(1, CommandKind.COMPUTE, deps=bar + dup, macs=10_000, layer="b")
+    return b.build()
+
+
+def test_redundant_barrier_flagged():
+    program = _with_redundant_barrier()
+    result = lint(program, tiny_test_machine(2))
+    assert "RPR803" in codes(result)
+    assert result.stats["redundant_barriers"] == 1
+    (diag,) = [d for d in result.diagnostics if d.code == "RPR803"]
+    assert diag.layer == "a"
+
+
+def test_load_bearing_barrier_clean():
+    # Same shape minus the duplicate: the single barrier is the only
+    # ordering between the layers, so nothing is redundant.
+    b = ProgramBuilder(2)
+    b.add(0, CommandKind.COMPUTE, macs=10_000, layer="a")
+    b.add(1, CommandKind.COMPUTE, macs=10_000, layer="a")
+    bar = b.barrier(cycles=10.0, layer="a", tag="sync")
+    b.add(0, CommandKind.COMPUTE, deps=bar, macs=10_000, layer="b")
+    b.add(1, CommandKind.COMPUTE, deps=bar, macs=10_000, layer="b")
+    result = lint(b.build(), tiny_test_machine(2))
+    assert "RPR803" not in codes(result)
+    assert result.stats["redundant_barriers"] == 0
+
+
+# ---- RPR804: double-buffer stalls -----------------------------------
+
+
+def test_stripped_double_buffering_flagged():
+    b = ProgramBuilder(1)
+    load0 = b.add(0, CommandKind.LOAD_INPUT, num_bytes=1_000, layer="conv")
+    c0 = b.add(0, CommandKind.COMPUTE, deps=[load0], macs=10_000, layer="conv")
+    # tile 1's load waits for tile 0's *compute*: serialized, no overlap.
+    load1 = b.add(
+        0, CommandKind.LOAD_INPUT, deps=[c0], num_bytes=1_000, layer="conv"
+    )
+    b.add(0, CommandKind.COMPUTE, deps=[load1], macs=10_000, layer="conv")
+    result = lint(b.build(), tiny_test_machine(1))
+    assert "RPR804" in codes(result)
+    assert result.stats["double_buffer_stalls"] == 1
+
+
+def test_overlapped_double_buffering_clean():
+    b = ProgramBuilder(1)
+    load0 = b.add(0, CommandKind.LOAD_INPUT, num_bytes=1_000, layer="conv")
+    c0 = b.add(0, CommandKind.COMPUTE, deps=[load0], macs=10_000, layer="conv")
+    # tile 1's load only queues behind tile 0's load -- free to prefetch.
+    load1 = b.add(0, CommandKind.LOAD_INPUT, num_bytes=1_000, layer="conv")
+    b.add(0, CommandKind.COMPUTE, deps=[c0, load1], macs=10_000, layer="conv")
+    result = lint(b.build(), tiny_test_machine(1))
+    assert "RPR804" not in codes(result)
+    assert result.stats["double_buffer_stalls"] == 0
+
+
+# ---- RPR805: bus oversubscription -----------------------------------
+
+
+def test_bus_oversubscription_flagged():
+    npu = tiny_test_machine(4)
+    # Every core slams the bus at once for (almost) the whole makespan:
+    # aggregate link demand is 4x a single link, well past the ratio
+    # gate as long as one link alone cannot saturate the bus.
+    cap = npu.core(0).dma_bytes_per_cycle
+    assert cap * BUS_OVERSUB_RATIO <= npu.bus_bytes_per_cycle * 4
+    b = ProgramBuilder(4)
+    for core in range(4):
+        b.add(core, CommandKind.LOAD_INPUT, num_bytes=500_000, layer="conv")
+    result = lint(b.build(), npu)
+    assert "RPR805" in codes(result)
+    assert result.stats["bus_peak_ratio_pct"] >= BUS_OVERSUB_RATIO * 100
+
+
+def test_staggered_transfers_clean():
+    npu = tiny_test_machine(4)
+    b = ProgramBuilder(4)
+    prev = None
+    for core in range(4):
+        prev = b.add(
+            core, CommandKind.LOAD_INPUT,
+            deps=[prev] if prev is not None else [],
+            num_bytes=500_000, layer="conv",
+        )
+    result = lint(b.build(), npu)
+    assert "RPR805" not in codes(result)
+
+
+# ---- shipped compiler outputs lint clean ----------------------------
+
+
+@pytest.mark.parametrize("label", ["halo", "stratum"])
+@pytest.mark.parametrize("model", [m.name for m in ZOO])
+def test_shipped_schedules_clean(model: str, label: str):
+    options = (
+        CompileOptions.halo() if label == "halo"
+        else CompileOptions.stratum_config()
+    )
+    program, machine = _program_for(model, options)
+    result = lint(program, machine)
+    assert result.diagnostics == [], (
+        f"{model}/{label}: {[str(d) for d in result.diagnostics]}"
+    )
