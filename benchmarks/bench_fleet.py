@@ -1,0 +1,207 @@
+"""Fleet router comparison on a skewed mixed workload.
+
+One seeded fleet-wide request stream (mostly-MobileNetV2 traffic with
+heavy InceptionV3-stem stragglers) is routed across a three-device
+fleet by all four routing policies; the headline claims are that
+
+* informed routing beats blind rotation: on at least two of the three
+  pinned seeds, power-of-two-choices or cache-affinity routing lands a
+  lower fleet-wide p99 than round-robin, because rotation occasionally
+  stacks heavy requests behind each other while a loaded-or-warm probe
+  does not; and
+* the fleet ledger survives device death: killing a device at the
+  midpoint of the arrival window (and, separately, at t=0) still
+  yields served + shed == generated fleet-wide -- stranded requests
+  are shed by the degraded loop, later arrivals re-balance onto the
+  survivors, and nothing is silently lost.
+
+The fleet runs on ``tiny2`` devices rather than the full Exynos model:
+fleet-scale claims are about *routing* across devices, and the small
+machine keeps a 4-router x 3-seed sweep inside a CI smoke budget.
+
+Results land in ``BENCH_fleet.json`` at the repo root (and a text copy
+under ``benchmarks/out/``).  Run standalone with
+``python benchmarks/bench_fleet.py`` or through pytest with
+``pytest benchmarks/bench_fleet.py --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List
+
+from repro.analysis.fleet import fleet_summary, render_router_comparison
+from repro.serve import ROUTER_NAMES, FleetReport, serve_fleet
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_fleet.json"
+
+#: skewed mix: light traffic with heavy stragglers, the regime where
+#: blind rotation pays for ignoring load.
+MIX = [("MobileNetV2", 3.0), ("stem", 1.0)]
+DEVICES = 3
+MACHINE = "tiny2"
+RPS = 900.0
+DURATION_US = 10_000.0
+SEEDS = (0, 1, 2)
+KILL_AT_US = DURATION_US / 2.0
+
+COMMON = dict(
+    machines=DEVICES,
+    machine=MACHINE,
+    policy="sjf",
+    mode="continuous",
+    rps=RPS,
+    duration_us=DURATION_US,
+)
+
+
+def collect_routers(seed: int) -> List[FleetReport]:
+    return [
+        serve_fleet(MIX, router=router, seed=seed, **COMMON)
+        for router in ROUTER_NAMES
+    ]
+
+
+def collect_death(seed: int) -> Dict[str, FleetReport]:
+    """The device-death plans: one midpoint kill, one kill at t=0."""
+    return {
+        "midpoint": serve_fleet(
+            MIX, router="least-loaded", seed=seed,
+            kills={1: KILL_AT_US}, **COMMON,
+        ),
+        "at_t0": serve_fleet(
+            MIX, router="least-loaded", seed=seed, kills={1: 0.0}, **COMMON
+        ),
+    }
+
+
+def informed_beats_rr(reports: List[FleetReport]) -> bool:
+    """True when p2c or affinity lands a lower fleet p99 than rotation."""
+    by = {r.router: r for r in reports}
+    rr = by["round-robin"].p99_us
+    if rr is None:
+        return False
+    return any(
+        by[name].p99_us is not None and by[name].p99_us < rr
+        for name in ("p2c", "affinity")
+    )
+
+
+def build_summary() -> Dict:
+    per_seed: Dict[str, Dict] = {}
+    wins = 0
+    for seed in SEEDS:
+        reports = collect_routers(seed)
+        deaths = collect_death(seed)
+        won = informed_beats_rr(reports)
+        wins += won
+        per_seed[str(seed)] = {
+            **fleet_summary(reports),
+            "informed_beats_round_robin": won,
+            "device_death": {
+                name: {
+                    "num_generated": r.num_generated,
+                    "num_served": r.num_served,
+                    "num_shed": r.num_shed,
+                    "conserved": r.conserved,
+                }
+                for name, r in deaths.items()
+            },
+        }
+    return {
+        "mix": [list(m) for m in MIX],
+        "devices": DEVICES,
+        "machine": MACHINE,
+        "rps": RPS,
+        "duration_us": DURATION_US,
+        "policy": "sjf",
+        "mode": "continuous",
+        "seeds": list(SEEDS),
+        "informed_wins": wins,
+        "per_seed": per_seed,
+    }
+
+
+def _check(summary: Dict) -> List[str]:
+    """The acceptance criteria; returns a list of failures."""
+    problems: List[str] = []
+    if summary["informed_wins"] < 2:
+        problems.append(
+            "informed routing beat round-robin on only "
+            f"{summary['informed_wins']}/{len(SEEDS)} seeds"
+        )
+    for seed, section in summary["per_seed"].items():
+        if not section["conserved"]:
+            problems.append(f"seed {seed}: clean-run ledger broken")
+        for name, death in section["device_death"].items():
+            if not death["conserved"]:
+                problems.append(
+                    f"seed {seed}: {name} device-death ledger broken "
+                    f"({death['num_served']} served + {death['num_shed']} "
+                    f"shed != {death['num_generated']} generated)"
+                )
+    return problems
+
+
+def _write(summary: Dict) -> None:
+    RESULT_PATH.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+
+
+def _render(summary: Dict, reports0: List[FleetReport]) -> str:
+    lines = [render_router_comparison(reports0), ""]
+    for seed in SEEDS:
+        section = summary["per_seed"][str(seed)]
+        vs = section.get("vs_round_robin", {})
+        lines.append(
+            f"seed {seed}: informed_beats_rr="
+            f"{section['informed_beats_round_robin']}  "
+            + "  ".join(
+                f"{name} p99x{vs[name]['p99_improvement']:.2f}"
+                for name in sorted(vs)
+            )
+        )
+    death = summary["per_seed"][str(SEEDS[0])]["device_death"]["midpoint"]
+    lines.append(
+        f"midpoint kill (seed {SEEDS[0]}): {death['num_served']} served + "
+        f"{death['num_shed']} shed == {death['num_generated']} generated"
+    )
+    return "\n".join(lines)
+
+
+def test_fleet(benchmark, out_dir):
+    """Routes the workload under all four routers across three seeds;
+    asserts the acceptance criteria (informed routing beats round-robin
+    on >= 2 of 3 seeds; the served+shed==generated ledger holds on every
+    run, including midpoint and t=0 device kills)."""
+    summary = benchmark.pedantic(build_summary, rounds=1, iterations=1)
+    reports0 = collect_routers(SEEDS[0])
+    for r in reports0:
+        benchmark.extra_info[f"{r.router}_p99_us"] = (
+            None if r.p99_us is None else round(r.p99_us, 1)
+        )
+    benchmark.extra_info["informed_wins"] = summary["informed_wins"]
+    _write(summary)
+
+    from benchmarks.conftest import emit
+
+    emit(out_dir, "fleet.txt", _render(summary, reports0))
+    problems = _check(summary)
+    assert not problems, "; ".join(problems)
+
+
+def main() -> int:
+    summary = build_summary()
+    reports0 = collect_routers(SEEDS[0])
+    _write(summary)
+    print(_render(summary, reports0))
+    print(f"\nwritten to {RESULT_PATH}")
+    problems = _check(summary)
+    for p in problems:
+        print(f"FAIL: {p}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

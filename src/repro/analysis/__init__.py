@@ -51,6 +51,12 @@ from repro.analysis.faults import (
     degradation_summary,
     render_degradation_table,
 )
+from repro.analysis.fleet import (
+    fleet_summary,
+    render_fleet_table,
+    render_router_comparison,
+    write_fleet_report,
+)
 from repro.analysis.serving import (
     render_serving_table,
     serving_summary,
@@ -75,6 +81,7 @@ __all__ = [
     "peak_spm_per_core",
     "degradation_summary",
     "exposed_waits",
+    "fleet_summary",
     "format_kb",
     "format_speedup",
     "format_table",
@@ -87,8 +94,11 @@ __all__ = [
     "render_layer_report",
     "profile_layers",
     "top_layers",
+    "render_fleet_table",
+    "render_router_comparison",
     "render_serving_table",
     "run_configuration",
+    "write_fleet_report",
     "run_sweep",
     "serving_summary",
     "write_serving_report",

@@ -76,7 +76,7 @@ def degradation_summary(
         if base is not None:
             entry["clean_p99_us"] = base.p99_us
             entry["clean_slo_miss_rate"] = base.slo_miss_rate
-            if base.p99_us > 0:
+            if base.p99_us and r.p99_us is not None:
                 entry["p99_vs_clean"] = r.p99_us / base.p99_us
         out["policies"][r.policy] = entry
     return out

@@ -1,0 +1,138 @@
+"""Rendering and export for fleet-serving reports.
+
+Same separation as :mod:`repro.analysis.serving`: the fleet layer
+produces :class:`~repro.serve.fleet.FleetReport` objects, this module
+turns one (or a router comparison set) into the per-device table, the
+router-comparison table, and the JSON artifact ``bench_fleet``
+persists.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Sequence, Union
+
+from repro.analysis.serving import _pct
+from repro.analysis.tables import format_table
+from repro.serve.fleet import FleetReport
+
+
+def fleet_device_rows(report: FleetReport) -> List[List[str]]:
+    """One row per device, plus a fleet-aggregate footer row."""
+    rows = [
+        [
+            str(d.device_id),
+            d.machine,
+            "-" if d.killed_at_us is None else f"@{d.killed_at_us:,.0f}us",
+            str(d.num_routed),
+            str(d.num_served),
+            str(d.num_shed),
+            _pct(d.report.p50_us),
+            _pct(d.report.p99_us),
+            f"{d.report.mean_utilization:.1%}",
+            f"{d.memo_stats.get('hit_rate', 0.0):.1%}",
+        ]
+        for d in report.devices
+    ]
+    rows.append(
+        [
+            "fleet",
+            f"x{report.num_devices}",
+            "-",
+            str(report.num_generated),
+            str(report.num_served),
+            str(report.num_shed),
+            _pct(report.p50_us),
+            _pct(report.p99_us),
+            "-",
+            f"{report.memo_hit_rate:.1%}",
+        ]
+    )
+    return rows
+
+
+def render_fleet_table(report: FleetReport) -> str:
+    """The per-device breakdown of one fleet run."""
+    return format_table(
+        [
+            "Dev", "Machine", "Killed", "Routed", "Served", "Shed",
+            "p50", "p99", "Util", "Memo",
+        ],
+        fleet_device_rows(report),
+        title=(
+            f"fleet {'+'.join(report.models)} x{report.num_devices} devices, "
+            f"router={report.router}, policy={report.policy}/{report.mode}, "
+            f"arrival={report.arrival} ({report.rps:,.0f} rps for "
+            f"{report.duration_us / 1000:.1f} ms, seed {report.seed})"
+        ),
+    )
+
+
+def render_router_comparison(reports: Sequence[FleetReport]) -> str:
+    """Routers side by side over the identical workload."""
+    if not reports:
+        raise ValueError("no fleet reports to render")
+    first = reports[0]
+    rows = [
+        [
+            r.router,
+            str(r.num_served),
+            str(r.num_shed),
+            _pct(r.p50_us),
+            _pct(r.p95_us),
+            _pct(r.p99_us),
+            f"{r.slo_miss_rate:.1%}",
+            f"{r.throughput_rps:,.0f}",
+            f"{r.memo_hit_rate:.1%}",
+        ]
+        for r in reports
+    ]
+    return format_table(
+        [
+            "Router", "Served", "Shed", "p50", "p95", "p99",
+            "SLO miss", "Thr (r/s)", "Memo",
+        ],
+        rows,
+        title=(
+            f"router comparison: {'+'.join(first.models)} on "
+            f"{first.num_devices} devices ({first.rps:,.0f} rps, "
+            f"seed {first.seed})"
+        ),
+    )
+
+
+def fleet_summary(reports: Sequence[FleetReport]) -> Dict:
+    """A JSON-ready summary keyed by router name.
+
+    Includes ``"vs_round_robin"`` p99 ratios whenever the round-robin
+    baseline is in the set -- the number the fleet benchmark gates on
+    (an informed router should not lose to blind rotation).
+    """
+    out: Dict = {"routers": {r.router: r.to_dict() for r in reports}}
+    rr = next((r for r in reports if r.router == "round-robin"), None)
+    if rr is not None and rr.p99_us:
+        vs: Dict = {}
+        for r in reports:
+            if r.router == "round-robin" or r.p99_us is None:
+                continue
+            vs[r.router] = {
+                "p99_ratio": r.p99_us / rr.p99_us,
+                "p99_improvement": rr.p99_us / r.p99_us,
+                "memo_hit_rate_delta": r.memo_hit_rate - rr.memo_hit_rate,
+            }
+        if vs:
+            out["vs_round_robin"] = vs
+    out["conserved"] = all(r.conserved for r in reports)
+    return out
+
+
+def write_fleet_report(
+    reports: Sequence[FleetReport], path: Union[str, pathlib.Path]
+) -> pathlib.Path:
+    """Persist :func:`fleet_summary` as pretty-printed JSON."""
+    path = pathlib.Path(path)
+    path.write_text(
+        json.dumps(fleet_summary(reports), indent=2, sort_keys=True) + "\n"
+    )
+    return path

@@ -10,10 +10,16 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Dict, List, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.analysis.tables import format_table
 from repro.serve.metrics import ServeReport
+
+
+def _pct(value: Optional[float]) -> str:
+    """Render a percentile cell; devices that served nothing have no
+    latency distribution (``None``), shown as '-'."""
+    return "-" if value is None else f"{value:,.1f}us"
 
 
 def serving_rows(reports: Sequence[ServeReport]) -> List[List[str]]:
@@ -25,9 +31,9 @@ def serving_rows(reports: Sequence[ServeReport]) -> List[List[str]]:
             str(r.num_requests),
             str(r.num_waves),
             f"{r.makespan_us:,.1f}us",
-            f"{r.p50_us:,.1f}us",
-            f"{r.p95_us:,.1f}us",
-            f"{r.p99_us:,.1f}us",
+            _pct(r.p50_us),
+            _pct(r.p95_us),
+            _pct(r.p99_us),
             f"{r.slo_miss_rate:.1%}",
             f"{r.throughput_rps:,.0f}",
             f"{r.mean_utilization:.1%}",
@@ -79,7 +85,7 @@ def serving_summary(reports: Sequence[ServeReport]) -> Dict:
         if fifo and dyn and dyn.makespan_us > 0:
             out["dynamic_vs_fifo_makespan"] = fifo.makespan_us / dyn.makespan_us
         sjf = next((r for r in gang if r.policy == "sjf"), None)
-        if fifo and sjf and sjf.p50_us > 0:
+        if fifo and sjf and fifo.p50_us is not None and sjf.p50_us:
             out["sjf_vs_fifo_p50"] = fifo.p50_us / sjf.p50_us
     if cont:
         section: Dict = {"policies": {r.policy: r.to_dict() for r in cont}}

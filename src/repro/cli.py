@@ -510,6 +510,92 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_kills(specs: List[str], duration_us: float) -> dict:
+    """``DEV@US`` or ``DEV@PCT%`` kill specs to a device->time map."""
+    kills = {}
+    for spec in specs:
+        try:
+            dev_s, at_s = spec.split("@", 1)
+            dev = int(dev_s)
+            if at_s.endswith("%"):
+                at = float(at_s[:-1]) / 100.0 * duration_us
+            else:
+                at = float(at_s)
+        except ValueError:
+            raise SystemExit(
+                f"bad --kill spec {spec!r}: expected DEV@US or DEV@PCT%"
+            ) from None
+        kills[dev] = at
+    return kills
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import ROUTER_NAMES, serve_fleet
+
+    models = args.models or ["MobileNetV2", "InceptionV3"]
+    for name in models:
+        _graph(name)
+    duration_ms = 2.0 if args.duration_short else args.duration
+    duration_us = duration_ms * 1000.0
+    if args.machines:
+        machines = [m.strip() for m in args.machines.split(",") if m.strip()]
+        for m in machines:
+            _machine(m)  # validate specs before the run
+    else:
+        _machine(args.machine)
+        machines = args.devices
+    kills = _parse_kills(args.kill, duration_us)
+    routers = list(ROUTER_NAMES) if args.router == "all" else [args.router]
+    options = CONFIGS[args.config]()
+    reports = []
+    for router in routers:
+        try:
+            reports.append(
+                serve_fleet(
+                    models,
+                    machines=machines,
+                    machine=args.machine,
+                    router=router,
+                    policy=args.policy,
+                    mode=args.mode,
+                    rps=args.rps,
+                    duration_us=duration_us,
+                    seed=args.seed,
+                    options=options,
+                    slo_scale=args.slo_scale,
+                    max_requests=args.requests,
+                    arrival=args.arrival,
+                    kills=kills,
+                    jobs=args.jobs,
+                )
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+
+    if args.json:
+        print(
+            json.dumps(
+                [r.to_dict(include_trace=args.trace) for r in reports], indent=2
+            )
+        )
+        return 0
+    from repro.analysis import render_fleet_table, render_router_comparison
+
+    for report in reports:
+        print(render_fleet_table(report))
+        if not report.conserved:
+            print(
+                f"WARNING: ledger broken: {report.num_served} served + "
+                f"{report.num_shed} shed != {report.num_generated} generated"
+            )
+        print()
+    if len(reports) > 1:
+        print(render_router_comparison(reports))
+    return 0
+
+
 def cmd_table5(args: argparse.Namespace) -> int:
     npu = _machine(args.machine)
     stem = inception_v3_stem()
@@ -736,6 +822,89 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "fleet",
+        help="fleet-scale serving: N routed devices (load balancing)",
+    )
+    p.add_argument(
+        "models", nargs="*", metavar="MODEL",
+        help=f"workload mix, one or more of {model_names()} or 'stem' "
+        "(default: MobileNetV2 InceptionV3)",
+    )
+    p.add_argument(
+        "--devices", type=int, default=4, metavar="N",
+        help="homogeneous fleet size (default 4)",
+    )
+    p.add_argument(
+        "--machine", default="exynos2100",
+        help="machine preset for a homogeneous fleet",
+    )
+    p.add_argument(
+        "--machines", default="", metavar="SPECS",
+        help="comma-separated per-device machine specs for a mixed "
+        "fleet (overrides --devices/--machine)",
+    )
+    p.add_argument(
+        "--router", default="all",
+        choices=["round-robin", "least-loaded", "p2c", "affinity", "all"],
+        help="routing policy, or 'all' to compare (default)",
+    )
+    p.add_argument(
+        "--policy", choices=["fifo", "sjf", "dynamic"], default="sjf",
+        help="per-device scheduling policy (default sjf)",
+    )
+    p.add_argument(
+        "--mode", choices=["gang", "continuous"], default="continuous",
+        help="per-device admission discipline (default continuous)",
+    )
+    p.add_argument(
+        "--arrival", default="poisson",
+        choices=["poisson", "diurnal", "bursty", "sessions"],
+        help="fleet-wide arrival process (default poisson)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--config", choices=sorted(CONFIGS), default="stratum",
+        help="compile configuration for multi-core groups",
+    )
+    p.add_argument(
+        "--rps", type=float, default=3000.0,
+        help="fleet-wide offered load, requests per second",
+    )
+    p.add_argument(
+        "--duration", type=float, default=20.0, metavar="MS",
+        help="arrival window in simulated milliseconds",
+    )
+    p.add_argument(
+        "--duration-short", action="store_true",
+        help="2 ms smoke-test window (overrides --duration)",
+    )
+    p.add_argument(
+        "--requests", type=int, default=0, metavar="N",
+        help="additionally cap the workload at N requests",
+    )
+    p.add_argument(
+        "--slo-scale", type=float, default=5.0,
+        help="per-request SLO as a multiple of the model's isolated "
+        "latency on device 0 (0 disables SLOs)",
+    )
+    p.add_argument(
+        "--kill", action="append", default=[], metavar="DEV@T",
+        help="kill device DEV at time T ('1@4000' us or '1@50%%' of "
+        "the window); repeatable",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="process-pool width for per-device simulation (default 1; "
+        "results are identical at any width)",
+    )
+    p.add_argument(
+        "--trace", action="store_true",
+        help="include the per-request router decision trace (with --json)",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser("table4", help="partitioning-scheme profile")
     common(p, config=False)

@@ -26,6 +26,7 @@ from repro.faults.plan import (
     FaultStats,
     ThermalThrottle,
     TransientStall,
+    device_offline_plan,
     random_stalls,
 )
 from repro.faults.session import FaultInjector
@@ -39,6 +40,7 @@ __all__ = [
     "FaultStats",
     "ThermalThrottle",
     "TransientStall",
+    "device_offline_plan",
     "parse_fault_spec",
     "random_stalls",
 ]

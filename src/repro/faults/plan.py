@@ -187,6 +187,22 @@ class FaultStats:
         return sum(self.throttled_busy_cycles) / total
 
 
+def device_offline_plan(num_cores: int, at_us: float) -> FaultPlan:
+    """A whole-device death: every core goes offline at ``at_us``.
+
+    The fleet layer (:mod:`repro.serve.fleet`) kills a device by
+    handing its server this plan -- in-flight work is doomed and the
+    degraded serving loop sheds everything stranded with reason
+    ``"no-cores"``, which is what keeps the fleet-wide
+    served+shed==generated invariant intact through a device loss.
+    """
+    if num_cores <= 0:
+        raise ValueError("num_cores must be positive")
+    return FaultPlan(
+        events=tuple(CoreOffline(core=c, at_us=at_us) for c in range(num_cores))
+    )
+
+
 def random_stalls(
     seed: int,
     horizon_us: float,

@@ -8,6 +8,22 @@ must decide which ones run when, on which cores.  See
 
 from repro.serve.continuous import serve_continuous, serve_degraded_continuous
 from repro.serve.degraded import serve_degraded
+from repro.serve.fleet import (
+    CacheAffinityRouter,
+    DeviceSummary,
+    FleetDevice,
+    FleetReport,
+    LeastLoadedRouter,
+    PowerOfTwoRouter,
+    ROUTER_NAMES,
+    RequestRouter,
+    RouteRecord,
+    RoundRobinRouter,
+    get_router,
+    make_fleet,
+    route_requests,
+    serve_fleet,
+)
 from repro.serve.metrics import (
     AdmissionRecord,
     ContinuousStats,
@@ -30,39 +46,65 @@ from repro.serve.policies import (
 )
 from repro.serve.predictor import LatencyPredictor, resolve_graph
 from repro.serve.request import (
+    ARRIVAL_KINDS,
     MixEntry,
     Request,
     RequestResult,
+    generate_bursty,
+    generate_diurnal,
     generate_requests,
+    generate_sessions,
+    make_arrivals,
 )
+from repro.serve.seeding import wave_seed
 from repro.serve.server import serve, serve_policies
 
 __all__ = [
+    "ARRIVAL_KINDS",
     "AdmissionRecord",
     "Assignment",
+    "CacheAffinityRouter",
     "ContinuousStats",
     "DegradedStats",
+    "DeviceSummary",
     "DynamicPolicy",
     "FifoPolicy",
+    "FleetDevice",
+    "FleetReport",
     "LatencyPredictor",
+    "LeastLoadedRouter",
     "MixEntry",
     "POLICY_NAMES",
     "PolicyError",
+    "PowerOfTwoRouter",
+    "ROUTER_NAMES",
     "Request",
     "RequestResult",
+    "RequestRouter",
+    "RouteRecord",
+    "RoundRobinRouter",
     "SchedulingPolicy",
     "ServeReport",
     "ShedRecord",
     "SjfPolicy",
     "build_report",
+    "generate_bursty",
+    "generate_diurnal",
     "generate_requests",
+    "generate_sessions",
     "get_policy",
+    "get_router",
+    "make_arrivals",
+    "make_fleet",
     "percentile",
     "resolve_graph",
+    "route_requests",
     "serve",
     "serve_continuous",
     "serve_degraded",
     "serve_degraded_continuous",
+    "serve_fleet",
     "serve_policies",
     "validate_assignments",
+    "wave_seed",
 ]

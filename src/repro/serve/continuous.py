@@ -58,6 +58,7 @@ from repro.serve.policies import (
 )
 from repro.serve.predictor import LatencyPredictor
 from repro.serve.request import MixEntry, Request, RequestResult, generate_requests
+from repro.serve.seeding import wave_seed
 from repro.sim.multitenant import tenant_spans
 from repro.sim.session import InjectionOutcome, SimSession
 
@@ -138,6 +139,8 @@ def serve_continuous(
     predictor: Optional[LatencyPredictor] = None,
     cache: Optional[ProgramCache] = None,
     wave_barrier: bool = False,
+    requests: Optional[Sequence[Request]] = None,
+    device_id: int = 0,
 ) -> ServeReport:
     """Serve one workload with continuous (backfill) admission.
 
@@ -153,17 +156,15 @@ def serve_continuous(
     if predictor is None:
         predictor = LatencyPredictor(npu, options, cache=cache, seed=seed)
 
-    slo_of = None
-    if slo_scale > 0:
-        slo_of = lambda m: slo_scale * predictor.predicted_latency_us(m)  # noqa: E731
-    requests = generate_requests(
-        models,
-        rps=rps,
-        duration_us=duration_us,
-        seed=seed,
-        max_requests=max_requests,
-        slo_of=slo_of,
-    )
+    if requests is None:
+        requests = generate_requests(
+            models,
+            rps=rps,
+            duration_us=duration_us,
+            seed=seed,
+            max_requests=max_requests,
+            slo_of=predictor.slo_of(slo_scale),
+        )
 
     num_cores = npu.num_cores
     session = SimSession(npu)
@@ -243,7 +244,7 @@ def serve_continuous(
                     iid = session.inject(
                         merged,
                         at_us=clock,
-                        seed=seed + admission_index,
+                        seed=wave_seed(seed, device_id, admission_index),
                         label=f"w{admission_index}",
                     )
                     in_flight[iid] = _InFlight(
@@ -269,7 +270,7 @@ def serve_continuous(
                     iid = session.inject(
                         merged,
                         at_us=clock,
-                        seed=seed + admission_index,
+                        seed=wave_seed(seed, device_id, admission_index),
                         label=f"a{admission_index}",
                     )
                     in_flight[iid] = _InFlight(
@@ -357,6 +358,8 @@ def serve_degraded_continuous(
     retry_limit: int = 3,
     backoff_us: float = 200.0,
     shed_slo: bool = False,
+    requests: Optional[Sequence[Request]] = None,
+    device_id: int = 0,
 ) -> ServeReport:
     """Continuous admission under an active fault plan.
 
@@ -379,17 +382,15 @@ def serve_degraded_continuous(
     if predictor is None:
         predictor = LatencyPredictor(npu, options, cache=cache, seed=seed)
 
-    slo_of = None
-    if slo_scale > 0:
-        slo_of = lambda m: slo_scale * predictor.predicted_latency_us(m)  # noqa: E731
-    requests = generate_requests(
-        models,
-        rps=rps,
-        duration_us=duration_us,
-        seed=seed,
-        max_requests=max_requests,
-        slo_of=slo_of,
-    )
+    if requests is None:
+        requests = generate_requests(
+            models,
+            rps=rps,
+            duration_us=duration_us,
+            seed=seed,
+            max_requests=max_requests,
+            slo_of=predictor.slo_of(slo_scale),
+        )
 
     num_cores = npu.num_cores
     session = SimSession(npu, faults=faults)
@@ -530,7 +531,7 @@ def serve_degraded_continuous(
                 iid = session.inject(
                     merged,
                     at_us=clock,
-                    seed=seed + admission_index,
+                    seed=wave_seed(seed, device_id, admission_index),
                     label=f"a{admission_index}",
                 )
                 attempts[request.rid] = attempts.get(request.rid, 0) + 1

@@ -53,6 +53,7 @@ from repro.serve.policies import (
 )
 from repro.serve.predictor import LatencyPredictor
 from repro.serve.request import MixEntry, Request, RequestResult, generate_requests
+from repro.serve.seeding import wave_seed
 from repro.sim.multitenant import tenant_spans
 
 _EPS = 1e-9
@@ -74,6 +75,8 @@ def serve_degraded(
     retry_limit: int = 3,
     backoff_us: float = 200.0,
     shed_slo: bool = False,
+    requests: Optional[Sequence[Request]] = None,
+    device_id: int = 0,
 ) -> ServeReport:
     """Serve one workload under one policy while injecting ``faults``.
 
@@ -96,17 +99,15 @@ def serve_degraded(
     if predictor is None:
         predictor = LatencyPredictor(npu, options, cache=cache, seed=seed)
 
-    slo_of = None
-    if slo_scale > 0:
-        slo_of = lambda m: slo_scale * predictor.predicted_latency_us(m)  # noqa: E731
-    requests = generate_requests(
-        models,
-        rps=rps,
-        duration_us=duration_us,
-        seed=seed,
-        max_requests=max_requests,
-        slo_of=slo_of,
-    )
+    if requests is None:
+        requests = generate_requests(
+            models,
+            rps=rps,
+            duration_us=duration_us,
+            seed=seed,
+            max_requests=max_requests,
+            slo_of=predictor.slo_of(slo_scale),
+        )
 
     injector = FaultInjector(npu, faults)
     pending = deque(requests)
@@ -176,7 +177,9 @@ def serve_degraded(
         merged = predictor.merged_for(pattern)
         patterns_used.add(pattern)
 
-        sim = injector.run_wave(merged, seed=seed + wave_index, start_us=clock)
+        sim = injector.run_wave(
+            merged, seed=wave_seed(seed, device_id, wave_index), start_us=clock
+        )
         stats = sim.faults
         assert stats is not None
         stall_cycles += stats.stall_cycles

@@ -17,8 +17,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.serve.request import Request, RequestResult
 
 
-def percentile(xs: Sequence[float], p: float) -> float:
-    """Linearly-interpolated percentile (p in [0, 100]); 0.0 on empty input.
+def percentile(xs: Sequence[float], p: float) -> Optional[float]:
+    """Linearly-interpolated percentile (p in [0, 100]); ``None`` on empty.
 
     Uses the inclusive "linear" method (numpy's default): the rank is
     ``p/100 * (n - 1)`` and fractional ranks interpolate between the two
@@ -27,12 +27,18 @@ def percentile(xs: Sequence[float], p: float) -> float:
     ~94.7% lands on the same (maximum) observation, so p95 == p99 and
     tail-latency comparisons go blind exactly where they matter.
 
+    An empty sample has no order statistics, so the result is ``None``,
+    never a number.  Returning ``0.0`` here (as this function once did)
+    made an idle or dead fleet device report p99=0 and drag every
+    fleet-level min/mean toward zero; ``None`` forces aggregators to
+    exclude no-data devices explicitly.
+
     NaN inputs are rejected: ``sorted`` places NaNs arbitrarily (every
     comparison is False), so any order statistic over them would be an
     undefined value presented as a real percentile.
     """
     if not xs:
-        return 0.0
+        return None
     if not 0 <= p <= 100:
         raise ValueError("percentile must be in [0, 100]")
     if any(x != x for x in xs):  # NaN is the only value that != itself
@@ -183,9 +189,11 @@ class ServeReport:
     num_waves: int
     #: completion time of the last request (0 for an empty workload).
     makespan_us: float
-    p50_us: float
-    p95_us: float
-    p99_us: float
+    #: latency percentiles; ``None`` when no request was served (an
+    #: idle or dead device has no latency distribution to summarize).
+    p50_us: Optional[float]
+    p95_us: Optional[float]
+    p99_us: Optional[float]
     mean_latency_us: float
     mean_queue_us: float
     mean_exec_us: float
@@ -226,9 +234,19 @@ class ServeReport:
             "num_requests": self.num_requests,
             "num_waves": self.num_waves,
             "makespan_us": self.makespan_us,
-            "p50_us": self.p50_us,
-            "p95_us": self.p95_us,
-            "p99_us": self.p99_us,
+            # Percentile keys are omitted (not emitted as null) when no
+            # request was served: a consumer that averages "p99_us"
+            # across devices then cannot accidentally count a dead
+            # device as a zero-latency one.
+            **(
+                {
+                    "p50_us": self.p50_us,
+                    "p95_us": self.p95_us,
+                    "p99_us": self.p99_us,
+                }
+                if self.p50_us is not None
+                else {}
+            ),
             "mean_latency_us": self.mean_latency_us,
             "mean_queue_us": self.mean_queue_us,
             "mean_exec_us": self.mean_exec_us,

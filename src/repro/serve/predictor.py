@@ -14,7 +14,7 @@ other consumer of the same (program, machine, seed) triple.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 
 from repro.compiler.cache import ProgramCache, compile_cached
 from repro.compiler.compiler import CompiledModel
@@ -139,6 +139,19 @@ class LatencyPredictor:
     ) -> float:
         """Predicted service latency of ``model`` on ``cores``."""
         return self.isolated_run(model, cores).latency_us
+
+    def slo_of(self, slo_scale: float) -> Optional[Callable[[str], float]]:
+        """The per-model SLO closure every serving loop shares.
+
+        A request's SLO is ``slo_scale`` times its model's isolated
+        whole-machine latency; ``slo_scale <= 0`` disables SLOs
+        (``None``).  This used to be copy-pasted in four serving loops,
+        which is exactly how fleet devices would have drifted on SLO
+        derivation -- one definition, one number.
+        """
+        if slo_scale <= 0:
+            return None
+        return lambda m: slo_scale * self.predicted_latency_us(m)
 
     def merged_for(self, pattern: WavePattern) -> Program:
         """The merged (and statically verified) program of one wave.

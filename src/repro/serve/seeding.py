@@ -1,0 +1,46 @@
+"""Deterministic jitter-stream derivation for serving waves.
+
+Every wave (gang mode) or admission (continuous mode) simulates with
+its own seed so sync/halo jitter differs between waves the way it does
+between real launches.  The original derivation was ``seed +
+wave_index``, which is fine for one device but *aliases across a
+fleet*: with per-device base seeds on a shared arithmetic progression,
+device 0's wave ``k`` and device 1's wave ``k-1`` draw the identical
+jitter stream, quietly correlating "independent" machines.
+
+:func:`wave_seed` fixes that by hashing the full ``(seed, device_id,
+wave_index)`` identity into the seed space.  Device 0 keeps the
+historical linear derivation as a fast path, so every single-device
+serving report (and the committed ``BENCH_serving.json``) stays
+byte-identical; all other devices get streams that collide with
+nothing -- neither with each other nor, for any realistic wave count,
+with device 0's linear range (SHA-256 over a 63-bit space; the
+regression test in ``tests/serve/test_seeding.py`` checks a dense
+grid).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: seeds live in a 63-bit space so they stay exact in every consumer
+#: (random.Random accepts arbitrary ints; keep them word-sized anyway).
+_SEED_BITS = 63
+
+
+def wave_seed(seed: int, device_id: int, wave_index: int) -> int:
+    """The simulation seed of one (device, wave) pair.
+
+    Stable across runs and platforms (SHA-256, no process salt).
+    ``device_id == 0`` -- every single-device server -- keeps the
+    historical ``seed + wave_index`` derivation so existing outputs do
+    not move.
+    """
+    if device_id < 0:
+        raise ValueError("device_id must be >= 0")
+    if device_id == 0:
+        return seed + wave_index
+    digest = hashlib.sha256(
+        f"wave:{seed}:{device_id}:{wave_index}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") >> (64 - _SEED_BITS)

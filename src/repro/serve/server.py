@@ -11,8 +11,9 @@ physically share: the bus to global memory.
 
 Determinism: the arrival stream is seeded, policies are deterministic
 functions of the queue and the (cached) latency predictions, and each
-wave simulates with a seed derived from (server seed, wave index).
-Running the same workload twice produces identical reports.
+wave simulates with a seed derived from (server seed, device id, wave
+index) -- see :mod:`repro.serve.seeding`.  Running the same workload
+twice produces identical reports.
 
 Modeling note: waves are gang-scheduled by default -- the next wave
 starts when the current one fully drains.  Admission is therefore
@@ -46,6 +47,7 @@ from repro.serve.request import (
     RequestResult,
     generate_requests,
 )
+from repro.serve.seeding import wave_seed
 from repro.sim.multitenant import tenant_spans
 from repro.sim.simulator import simulate
 
@@ -76,6 +78,8 @@ def serve(
     backoff_us: float = 200.0,
     shed_slo: bool = False,
     mode: str = "gang",
+    requests: Optional[Sequence[Request]] = None,
+    device_id: int = 0,
 ) -> ServeReport:
     """Serve one generated workload under one policy.
 
@@ -83,6 +87,15 @@ def serve(
     model's isolated whole-machine latency (0 disables SLOs).  Passing a
     shared ``predictor`` (or ``cache``) lets several policy runs reuse
     compilations and isolated simulations.
+
+    ``requests`` bypasses the internal arrival generator with an
+    externally-built stream (already carrying arrival times and SLOs) --
+    the fleet router (:mod:`repro.serve.fleet`) uses this to hand each
+    device its routed share of one fleet-wide workload.  ``device_id``
+    names this server within a fleet; per-wave simulation seeds derive
+    from ``(seed, device_id, wave_index)`` so no two devices share a
+    jitter stream (see :func:`repro.serve.seeding.wave_seed`; device 0,
+    the single-server default, keeps the historical derivation).
 
     ``mode`` selects the admission discipline: ``"gang"`` (the default,
     the loop below) starts requests in waves and waits for each wave to
@@ -118,6 +131,8 @@ def serve(
             max_requests=max_requests,
             predictor=predictor,
             cache=cache,
+            requests=requests,
+            device_id=device_id,
         )
         if have_faults:
             return serve_degraded_continuous(
@@ -149,23 +164,23 @@ def serve(
             retry_limit=retry_limit,
             backoff_us=backoff_us,
             shed_slo=shed_slo,
+            requests=requests,
+            device_id=device_id,
         )
     if isinstance(policy, str):
         policy = get_policy(policy)
     if predictor is None:
         predictor = LatencyPredictor(npu, options, cache=cache, seed=seed)
 
-    slo_of = None
-    if slo_scale > 0:
-        slo_of = lambda m: slo_scale * predictor.predicted_latency_us(m)  # noqa: E731
-    requests = generate_requests(
-        models,
-        rps=rps,
-        duration_us=duration_us,
-        seed=seed,
-        max_requests=max_requests,
-        slo_of=slo_of,
-    )
+    if requests is None:
+        requests = generate_requests(
+            models,
+            rps=rps,
+            duration_us=duration_us,
+            seed=seed,
+            max_requests=max_requests,
+            slo_of=predictor.slo_of(slo_scale),
+        )
 
     pending = deque(requests)
     queue: List[Request] = []
@@ -195,7 +210,7 @@ def serve(
         merged = predictor.merged_for(pattern)
         patterns_used.add(pattern)
 
-        sim = simulate(merged, npu, seed=seed + wave_index)
+        sim = simulate(merged, npu, seed=wave_seed(seed, device_id, wave_index))
         spans = tenant_spans(
             sim.trace, [_slot_name(slot) for slot in range(len(assignments))]
         )

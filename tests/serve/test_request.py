@@ -101,7 +101,13 @@ class TestPercentile:
         assert percentile(xs, 0) == 10.0
         assert percentile(xs, 100) == 40.0
         assert percentile([5.0], 99) == 5.0
-        assert percentile([], 50) == 0.0
+
+    def test_empty_sample_has_no_percentile(self):
+        # 0.0 here used to make an idle/dead fleet device report p99=0
+        # and drag fleet-level mins and means; an empty sample has no
+        # order statistics, so the answer is None, not a number.
+        assert percentile([], 50) is None
+        assert percentile([], 99) is None
 
     def test_exact_ranks_hit_order_statistics(self):
         xs = [4.0, 1.0, 3.0, 2.0, 5.0]

@@ -136,3 +136,43 @@ class TestEdgeCases:
         # additionally builds packed multi-request programs.
         assert reports["fifo"].verified_programs == len(MIX)
         assert reports["dynamic"].verified_programs >= len(MIX)
+
+
+class TestSloDerivation:
+    """The one shared SLO helper every serving loop now uses.
+
+    Four copy-pasted ``slo_of`` lambdas (gang, continuous x2, degraded)
+    used to define "SLO = scale x isolated latency" independently; this
+    pins the hoisted :meth:`LatencyPredictor.slo_of` so a drift in any
+    loop shows up as a failure here.
+    """
+
+    def test_slo_is_scale_times_isolated_latency(self, npu, predictor):
+        slo = predictor.slo_of(5.0)
+        assert slo is not None
+        for model in MIX:
+            assert slo(model) == pytest.approx(
+                5.0 * predictor.predicted_latency_us(model)
+            )
+
+    def test_nonpositive_scale_disables_slos(self, predictor):
+        assert predictor.slo_of(0.0) is None
+        assert predictor.slo_of(-1.0) is None
+
+    def test_serve_attaches_derived_slos(self, npu, predictor, reports):
+        # Every request in the canonical report set carries exactly the
+        # derived SLO for its model -- the serving loops all route
+        # through the same helper.
+        slo = predictor.slo_of(5.0)
+        for rep in reports.values():
+            assert rep.results
+            for r in rep.results:
+                assert r.request.slo_us == pytest.approx(slo(r.request.model))
+
+    def test_slo_scale_zero_leaves_requests_unbounded(self, npu, predictor):
+        rep = serve(
+            MIX, npu, policy="fifo", predictor=predictor, slo_scale=0.0, **KW
+        )
+        assert rep.results
+        assert all(r.request.slo_us == 0.0 for r in rep.results)
+        assert rep.slo_miss_rate == 0.0
