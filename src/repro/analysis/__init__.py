@@ -8,6 +8,11 @@ from repro.analysis.critical_path import (
     render_critical_path,
     walk_bindings,
 )
+from repro.analysis.autotune import (
+    autotune_summary,
+    render_autotune,
+    render_autotune_comparison,
+)
 from repro.analysis.export import to_chrome_trace, write_chrome_trace
 from repro.analysis.compare import (
     ConfigResult,
@@ -113,4 +118,7 @@ __all__ = [
     "table4_profiles",
     "to_chrome_trace",
     "write_chrome_trace",
+    "autotune_summary",
+    "render_autotune",
+    "render_autotune_comparison",
 ]

@@ -1,0 +1,130 @@
+"""Rendering for autotune (design-space exploration) results.
+
+Three views: the single-run report (headline speedup, search counters,
+the winning overrides), the trajectory tail (how the incumbent fell over
+the run), and the multi-run comparison table used by the bench and the
+``autotune all`` CLI path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.tables import format_table, format_us
+from repro.compiler.autotune import AutotuneReport
+
+
+def _describe_overrides(overrides: Dict[str, object]) -> List[str]:
+    lines: List[str] = []
+    directions = overrides.get("directions") or {}
+    tiles = overrides.get("tiles") or {}
+    blocks = overrides.get("stratum_blocks") or []
+    for layer, value in sorted(directions.items()):  # type: ignore[union-attr]
+        lines.append(f"    direction {layer} -> {value}")
+    for layer, value in sorted(tiles.items()):  # type: ignore[union-attr]
+        lines.append(f"    pipeline tiles {layer} -> {value}")
+    for layer in sorted(blocks):  # type: ignore[arg-type]
+        lines.append(f"    stratum block {layer}")
+    if not lines:
+        lines.append("    (none -- heuristics already optimal at this budget)")
+    return lines
+
+
+def render_autotune(report: AutotuneReport, trajectory_tail: int = 8) -> str:
+    """Human-readable summary of one autotune run."""
+    verdict = (
+        f"beats h1-h8 by {report.speedup:.3f}x"
+        if report.improved
+        else "matched h1-h8 (no strict win at this budget)"
+    )
+    lines = [
+        f"autotune {report.model!r} on {report.machine} "
+        f"(config {report.config}, strategy {report.strategy}, "
+        f"seed {report.seed})",
+        f"  search space: {report.num_knobs} knobs; "
+        f"budget {report.budget} evaluations",
+        f"  baseline (h1-h8): {format_us(report.baseline_latency_us)}   "
+        f"winner: {format_us(report.best_latency_us)}   {verdict}",
+        f"  evaluations: {report.evaluations} "
+        f"(simulated {report.simulations}, bound-pruned {report.bound_prunes}, "
+        f"verify-rejected {report.verify_rejects}, "
+        f"compile-errors {report.compile_errors}, "
+        f"repeat hits {report.repeat_hits})",
+        f"  memo: {report.memo_hits} hits / {report.memo_misses} misses "
+        f"({report.memo_hit_rate:.0%}); compile cache: "
+        f"{report.cache_hits} hits / {report.cache_misses} misses",
+        "  winning overrides:",
+        *_describe_overrides(report.best_overrides),
+    ]
+    improvements = []
+    incumbent = None
+    for rec in report.trajectory:
+        if rec.latency_us is None:
+            continue
+        if incumbent is None or rec.latency_us < incumbent:
+            improvements.append(rec)
+            incumbent = rec.latency_us
+    if improvements:
+        lines.append("  incumbent trajectory (improvements):")
+        shown = improvements[-trajectory_tail:]
+        if len(shown) < len(improvements):
+            lines.append(f"    ... {len(improvements) - len(shown)} earlier")
+        for rec in shown:
+            lines.append(
+                f"    eval {rec.index:>4}: {format_us(rec.latency_us or 0.0)} "
+                f"({rec.num_overrides} overrides)"
+            )
+    return "\n".join(lines)
+
+
+def render_autotune_comparison(reports: Sequence[AutotuneReport]) -> str:
+    """One row per run: model, seed, baseline vs winner, counters."""
+    if not reports:
+        raise ValueError("no autotune reports to render")
+    rows = [
+        [
+            r.model,
+            r.strategy,
+            str(r.seed),
+            format_us(r.baseline_latency_us),
+            format_us(r.best_latency_us),
+            f"{r.speedup:.3f}x",
+            str(r.evaluations),
+            str(r.simulations),
+            str(r.bound_prunes),
+            f"{r.memo_hit_rate:.0%}",
+        ]
+        for r in reports
+    ]
+    return format_table(
+        [
+            "Model", "Strategy", "Seed", "h1-h8", "Autotuned",
+            "Speedup", "Evals", "Sims", "Pruned", "Memo",
+        ],
+        rows,
+        title=f"autotune vs heuristics on {reports[0].machine}",
+    )
+
+
+def autotune_summary(reports: Sequence[AutotuneReport]) -> Dict:
+    """JSON-ready aggregate: per-run records plus headline stats."""
+    runs = [r.to_dict(include_trajectory=False) for r in reports]
+    speedups = [r.speedup for r in reports]
+    return {
+        "machine": reports[0].machine if reports else None,
+        "runs": runs,
+        "num_runs": len(runs),
+        "num_improved": sum(1 for r in reports if r.improved),
+        "min_speedup": min(speedups) if speedups else None,
+        "max_speedup": max(speedups) if speedups else None,
+        "geomean_speedup": (
+            _geomean(speedups) if speedups else None
+        ),
+    }
+
+
+def _geomean(values: Sequence[float]) -> float:
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

@@ -32,6 +32,7 @@ from repro.analysis import (
 )
 from repro.analysis.export import write_chrome_trace
 from repro.compiler import (
+    STRATEGIES,
     CompileOptions,
     compile_model,
     profile_guided_rebalance,
@@ -441,6 +442,69 @@ def cmd_bounds(args: argparse.Namespace) -> int:
     return 1 if violations else 0
 
 
+def cmd_autotune(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import render_autotune, render_autotune_comparison
+    from repro.analysis.autotune import autotune_summary
+    from repro.compiler import autotune
+
+    npu = _machine(args.machine)
+    options = CONFIGS[args.config]()
+    if options.is_single_core:
+        raise SystemExit("autotune needs a multi-core configuration")
+    models = model_names() if args.model == "all" else [args.model]
+    reports = []
+    for model in models:
+        graph = _graph(model)
+        reports.append(
+            autotune(
+                graph,
+                npu,
+                options,
+                strategy=args.strategy,
+                budget=args.budget,
+                seed=args.seed,
+            )
+        )
+    if args.json:
+        print(json.dumps(autotune_summary(reports), indent=2, sort_keys=True))
+        return 0
+    if len(reports) == 1:
+        print(render_autotune(reports[0]))
+    else:
+        print(render_autotune_comparison(reports))
+    if args.baseline:
+        for model, report in zip(models, reports):
+            graph = _graph(model)
+            base = compile_model(graph, npu, report.base_options)
+            best = compile_model(graph, npu, report.best_options)
+            print(f"\nwinner vs h1-h8 baseline for {report.model!r}:")
+            changed = [
+                name
+                for name in (l.name for l in graph.layers() if not l.is_input)
+                if base.partition.direction(name) is not
+                best.partition.direction(name)
+            ]
+            for name in changed:
+                print(
+                    f"  {name}: {base.partition.direction(name).value} "
+                    f"-> {best.partition.direction(name).value}"
+                )
+            if not changed:
+                print("  partition directions: unchanged")
+            print(
+                f"  barriers: {base.num_barriers} -> {best.num_barriers}, "
+                f"halo exchanges: {base.num_halo_exchanges} -> "
+                f"{best.num_halo_exchanges}, "
+                f"strata: {len(base.strata.strata)} -> "
+                f"{len(best.strata.strata)}, "
+                f"redundant MACs: {base.redundant_macs:,} -> "
+                f"{best.redundant_macs:,}"
+            )
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import json
 
@@ -756,6 +820,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=cmd_bounds)
+
+    p = sub.add_parser(
+        "autotune",
+        help="search per-layer knobs for a schedule beating h1-h8",
+    )
+    p.add_argument(
+        "model",
+        help=f"one of {model_names()}, 'stem', or 'all' for the whole zoo",
+    )
+    p.add_argument("--machine", default="exynos2100")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--config", choices=sorted(set(CONFIGS) - {"1core"}), default="stratum",
+        help="base configuration the search space is built around",
+    )
+    p.add_argument(
+        "--strategy", choices=sorted(STRATEGIES), default="beam+anneal",
+    )
+    p.add_argument(
+        "--budget", type=int, default=64,
+        help="max distinct candidate evaluations (default 64)",
+    )
+    p.add_argument(
+        "--baseline", action="store_true",
+        help="also diff the winning compile against the h1-h8 compile",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=cmd_autotune)
 
     p = sub.add_parser(
         "serve", help="request-level serving simulation (queueing + SLOs)"

@@ -1,5 +1,15 @@
 """The NPU compiler: options, forwarding planning, lowering, driver."""
 
+from repro.compiler.autotune import (
+    AutotuneReport,
+    Evaluator,
+    Knob,
+    SearchSpace,
+    SearchStrategy,
+    STRATEGIES,
+    autotune,
+    build_space,
+)
 from repro.compiler.allocator import (
     ForwardingPlan,
     InputDecision,
@@ -39,6 +49,14 @@ from repro.compiler.program import (
 )
 
 __all__ = [
+    "AutotuneReport",
+    "Evaluator",
+    "Knob",
+    "STRATEGIES",
+    "SearchSpace",
+    "SearchStrategy",
+    "autotune",
+    "build_space",
     "Command",
     "CommandKind",
     "CompileOptions",

@@ -16,6 +16,7 @@ sweep workers rebuild zoo models from their names) map to the same key.
 from __future__ import annotations
 
 import dataclasses
+import enum
 import hashlib
 import json
 from typing import Dict, Optional, Tuple
@@ -31,6 +32,32 @@ def _digest(payload: object) -> str:
     """Stable hex digest of any JSON-serializable payload."""
     text = json.dumps(payload, sort_keys=True, default=repr)
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _canonical_value(field: str, value: object) -> object:
+    """A JSON-stable encoding of one ``CompileOptions`` field value.
+
+    Every field must reduce to plain JSON scalars/lists deterministically:
+    enums contribute their ``value``, frozensets are sorted (a raw
+    ``repr`` of a set depends on iteration order, so two *equal* option
+    sets could fingerprint differently -- and the cache would silently
+    recompile instead of hitting).  Unknown field types raise so a new
+    searchable knob cannot slip into the fingerprint through a lossy
+    fallback encoding and alias two distinct candidates to one entry.
+    """
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, frozenset):
+        return sorted(value)
+    if isinstance(value, tuple):
+        return [_canonical_value(field, item) for item in value]
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    raise TypeError(
+        f"CompileOptions.{field} holds {type(value).__name__!r}, which has "
+        "no canonical fingerprint encoding; teach options_fingerprint "
+        "about it explicitly"
+    )
 
 
 def graph_fingerprint(graph: Graph) -> str:
@@ -58,11 +85,21 @@ def machine_fingerprint(npu: NPUConfig) -> str:
 
 
 def options_fingerprint(options: CompileOptions) -> str:
-    """Content hash of compile options (heuristic set canonicalized)."""
-    payload = dataclasses.asdict(options)
-    payload["enabled_heuristics"] = sorted(options.enabled_heuristics)
-    payload["partition_policy"] = options.partition_policy.value
-    payload["schedule_strategy"] = options.schedule_strategy.value
+    """Content hash of compile options.
+
+    Walks every dataclass field through :func:`_canonical_value`, so the
+    fingerprint covers each searchable knob (including the autotuner's
+    per-layer ``direction_overrides`` / ``tile_overrides`` /
+    ``stratum_blocks``) and distinct option values always yield distinct
+    digests; ``tests/compiler/test_options_fingerprint.py`` perturbs
+    every field and pins that property.
+    """
+    payload = {
+        field.name: _canonical_value(
+            field.name, getattr(options, field.name)
+        )
+        for field in dataclasses.fields(options)
+    }
     return _digest(payload)
 
 

@@ -112,6 +112,7 @@ def compile_model(
         options.partition_policy,
         options.enabled_heuristics,
         weight_overrides=weight_overrides,
+        direction_overrides=options.direction_override_map() or None,
     )
     if options.schedule_strategy is ScheduleStrategy.DEPTH_FIRST:
         schedule = depth_first_order(graph)
@@ -127,6 +128,7 @@ def compile_model(
             schedule,
             npu,
             include_roundtrip_gain=options.stratum_roundtrip_gain,
+            blocked=options.stratum_block_set() or None,
         )
     else:
         strata = StratumPlan(strata=(), membership={})

@@ -266,6 +266,7 @@ def _emit_sub_layer(
         input_stream_mask=stream_mask,
         stores_output=stores and not output_resident,
         resident_bytes=resident_bytes,
+        pipeline_tiles=options.tile_override_map().get(name),
     )
 
     # --- kernel loads ------------------------------------------------------

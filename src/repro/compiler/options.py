@@ -11,10 +11,13 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import FrozenSet
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
 
-from repro.partition.direction import PartitionPolicy
+from repro.partition.direction import PartitionDirection, PartitionPolicy
 from repro.partition.heuristics import ALL_HEURISTICS
+
+#: Direction-override values a candidate may pin a layer to.
+DIRECTION_OVERRIDE_VALUES = ("spatial", "channel", "none")
 
 
 class ScheduleStrategy(enum.Enum):
@@ -55,6 +58,54 @@ class CompileOptions:
     #: Run the static program verifier (:mod:`repro.verify`) on the
     #: compiled program and raise ``VerificationError`` on any error.
     verify: bool = False
+    #: Per-layer partition-direction pins, ``(layer, direction)`` pairs
+    #: with direction one of :data:`DIRECTION_OVERRIDE_VALUES`.  Layers
+    #: not listed keep the policy/heuristic choice; an infeasible pin
+    #: falls back to it too.  This is the autotuner's first knob axis
+    #: (:mod:`repro.compiler.autotune`); the tuples are canonicalized
+    #: (sorted, duplicate-free) so equality, hashing and the compile
+    #: fingerprint all agree on the same candidate.
+    direction_overrides: Tuple[Tuple[str, str], ...] = ()
+    #: Per-layer pipeline-depth pins, ``(layer, num_tiles >= 1)`` pairs
+    #: replacing the tiler's fixed ``PIPELINE_TILES`` target for that
+    #: layer.  SPM feasibility still dominates: the tiler only ever
+    #: *raises* the count to fit double buffers (the knob can never
+    #: produce an over-capacity plan).  Second autotuner knob axis.
+    tile_overrides: Tuple[Tuple[str, int], ...] = ()
+    #: Layers barred from joining any stratum: the Algorithm 2
+    #: accumulation seals at (and never extends onto) these layers,
+    #: giving a per-layer escape hatch from the h6-h8 membership
+    #: decision.  Third autotuner knob axis.
+    stratum_blocks: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Canonicalize the override tuples so two equal candidates are
+        # one dataclass value (equality == hash == fingerprint) and two
+        # *distinct* candidates can never collapse to one cache entry.
+        object.__setattr__(
+            self,
+            "direction_overrides",
+            _canonical_pairs(self.direction_overrides, "direction_overrides"),
+        )
+        object.__setattr__(
+            self,
+            "tile_overrides",
+            _canonical_pairs(self.tile_overrides, "tile_overrides"),
+        )
+        blocks = tuple(sorted(set(self.stratum_blocks)))
+        object.__setattr__(self, "stratum_blocks", blocks)
+        for layer, direction in self.direction_overrides:
+            if direction not in DIRECTION_OVERRIDE_VALUES:
+                raise ValueError(
+                    f"direction override for {layer!r} must be one of "
+                    f"{DIRECTION_OVERRIDE_VALUES}, got {direction!r}"
+                )
+        for layer, tiles in self.tile_overrides:
+            if not isinstance(tiles, int) or tiles < 1:
+                raise ValueError(
+                    f"tile override for {layer!r} must be a positive "
+                    f"integer, got {tiles!r}"
+                )
 
     @classmethod
     def base(cls, policy: PartitionPolicy = PartitionPolicy.ADAPTIVE) -> "CompileOptions":
@@ -144,3 +195,75 @@ class CompileOptions:
         if self.halo_exchange:
             return "+Halo"
         return "Base"
+
+    # ------------------------------------------------------ override access
+
+    @property
+    def has_overrides(self) -> bool:
+        """True when any per-layer autotune knob deviates from heuristics."""
+        return bool(
+            self.direction_overrides or self.tile_overrides or self.stratum_blocks
+        )
+
+    def direction_override_map(self) -> Dict[str, PartitionDirection]:
+        """The direction pins as a layer -> direction mapping."""
+        return {
+            layer: PartitionDirection(value)
+            for layer, value in self.direction_overrides
+        }
+
+    def tile_override_map(self) -> Dict[str, int]:
+        """The pipeline-depth pins as a layer -> tile-count mapping."""
+        return dict(self.tile_overrides)
+
+    def stratum_block_set(self) -> FrozenSet[str]:
+        """Layers barred from stratum membership, as a set."""
+        return frozenset(self.stratum_blocks)
+
+    def with_overrides(
+        self,
+        directions: Optional[Mapping[str, str]] = None,
+        tiles: Optional[Mapping[str, int]] = None,
+        blocks: Optional[Iterable[str]] = None,
+    ) -> "CompileOptions":
+        """This configuration with the given per-layer knob pins.
+
+        Replaces (not merges) each override axis that is passed; axes
+        left ``None`` keep their current pins.
+        """
+        return dataclasses.replace(
+            self,
+            direction_overrides=(
+                tuple(directions.items())
+                if directions is not None
+                else self.direction_overrides
+            ),
+            tile_overrides=(
+                tuple(tiles.items()) if tiles is not None else self.tile_overrides
+            ),
+            stratum_blocks=(
+                tuple(blocks) if blocks is not None else self.stratum_blocks
+            ),
+        )
+
+
+def _canonical_pairs(
+    pairs: Iterable[Tuple[str, object]], field: str
+) -> Tuple[Tuple[str, object], ...]:
+    """Sorted, duplicate-free ``(layer, value)`` pairs.
+
+    One layer may carry at most one value: conflicting duplicates would
+    otherwise make two *different* candidates compare (and hash, and
+    fingerprint) unequal while compiling identically -- or worse, leave
+    the effective value dependent on iteration order.
+    """
+    canonical = sorted(set(tuple(pairs)))
+    seen: Dict[str, object] = {}
+    for layer, value in canonical:
+        if layer in seen and seen[layer] != value:
+            raise ValueError(
+                f"conflicting {field} for layer {layer!r}: "
+                f"{seen[layer]!r} vs {value!r}"
+            )
+        seen[layer] = value
+    return tuple(canonical)

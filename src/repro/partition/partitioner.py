@@ -41,6 +41,27 @@ def _single_core_regions(layer: Layer, npu: NPUConfig, core: int) -> Tuple[Regio
     return tuple(full if i == core else empty for i in range(npu.num_cores))
 
 
+def _override_direction(
+    layer: Layer,
+    npu: NPUConfig,
+    pinned: PartitionDirection,
+) -> Optional[DirectionChoice]:
+    """A per-layer direction pin, honored only when feasible.
+
+    Autotune candidates pin directions freely over the knob grid; an
+    infeasible pin (op constraint, alignment, shape) simply falls back
+    to the policy/heuristic choice so every candidate still compiles to
+    a valid program -- returning ``None`` here means "no effect".
+    """
+    if pinned is PartitionDirection.NONE:
+        return DirectionChoice(PartitionDirection.NONE, "pinned")
+    if pinned is PartitionDirection.SPATIAL and spatial_feasible(layer, npu):
+        return DirectionChoice(PartitionDirection.SPATIAL, "pinned")
+    if pinned is PartitionDirection.CHANNEL and channel_feasible(layer, npu):
+        return DirectionChoice(PartitionDirection.CHANNEL, "pinned")
+    return None
+
+
 def _policy_direction(
     layer: Layer,
     npu: NPUConfig,
@@ -72,13 +93,24 @@ def partition_layer(
     policy: PartitionPolicy = PartitionPolicy.ADAPTIVE,
     enabled_heuristics: FrozenSet[str] = ALL_HEURISTICS,
     weight_override: Optional[Tuple[float, ...]] = None,
+    direction_override: Optional[PartitionDirection] = None,
 ) -> LayerPartition:
     """Partition one layer across the machine's cores.
 
     ``weight_override`` replaces the analytical balance with measured
-    per-core rates (profile-guided rebalancing).
+    per-core rates (profile-guided rebalancing).  ``direction_override``
+    pins the partition direction when feasible (autotune candidates);
+    the single-core policy always wins over a pin.
     """
-    choice = _policy_direction(layer, npu, policy, enabled_heuristics)
+    choice = None
+    if (
+        direction_override is not None
+        and policy is not PartitionPolicy.SINGLE_CORE
+        and npu.num_cores > 1
+    ):
+        choice = _override_direction(layer, npu, direction_override)
+    if choice is None:
+        choice = _policy_direction(layer, npu, policy, enabled_heuristics)
     if choice.direction is PartitionDirection.NONE:
         core = 0 if npu.num_cores == 1 else _fastest_core(npu)
         regions = _single_core_regions(layer, npu, core)
@@ -130,14 +162,18 @@ def partition_graph(
     policy: PartitionPolicy = PartitionPolicy.ADAPTIVE,
     enabled_heuristics: FrozenSet[str] = ALL_HEURISTICS,
     weight_overrides: Optional[Dict[str, Tuple[float, ...]]] = None,
+    direction_overrides: Optional[Dict[str, PartitionDirection]] = None,
 ) -> GraphPartition:
     """Partition every layer of ``graph`` under ``policy``.
 
     ``weight_overrides`` maps layer names to measured per-core rate
     weights, replacing the analytical balance for those layers.
+    ``direction_overrides`` pins the partition direction of individual
+    layers where feasible (the autotuner's first knob axis).
     """
     graph.validate()
     overrides = weight_overrides or {}
+    pins = direction_overrides or {}
     layers: Dict[str, LayerPartition] = {}
     for layer in graph.layers():
         layers[layer.name] = partition_layer(
@@ -146,5 +182,6 @@ def partition_graph(
             policy,
             enabled_heuristics,
             weight_override=overrides.get(layer.name),
+            direction_override=pins.get(layer.name),
         )
     return GraphPartition(graph=graph, npu=npu, policy=policy, layers=layers)

@@ -21,7 +21,7 @@ least two layers) and accumulation restarts from the violating layer.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import AbstractSet, Dict, List, Optional, Sequence, Tuple
 
 from repro.cost.compute import compute_cycles
 from repro.cost.memory import aligned_region_bytes, aligned_weight_bytes
@@ -204,6 +204,7 @@ def build_strata(
     schedule: Sequence[str],
     npu: NPUConfig,
     include_roundtrip_gain: bool = True,
+    blocked: Optional[AbstractSet[str]] = None,
 ) -> StratumPlan:
     """Algorithm 2: accumulate strata over the reverse schedule.
 
@@ -211,9 +212,17 @@ def build_strata(
     round trip counts toward the h8 gain (the paper's profiled sync cost
     includes the exposed memory path; disabling it makes h8 compare
     against the bare barrier cost only -- useful for ablations).
+
+    ``blocked`` layers never join a stratum: the accumulation neither
+    extends onto them nor past them, so each one seals the current chain
+    and restarts as a singleton (which ``seal`` then drops).  This is the
+    autotuner's per-layer escape hatch from the h6-h8 membership decision
+    -- h8's gain estimate is analytic, and the simulator sometimes
+    disagrees with it.
     """
     strata: List[Stratum] = []
     membership: Dict[str, int] = {}
+    blocked = blocked or frozenset()
 
     def seal(chain: List[StratumEntry]) -> None:
         if len(chain) > 1:
@@ -239,7 +248,12 @@ def build_strata(
         head_layer = graph.layer(head.layer_name)
         accumulated = False
 
-        if _can_extend(graph, partition, layer, head_layer):
+        extendable = (
+            name not in blocked
+            and head.layer_name not in blocked
+            and _can_extend(graph, partition, layer, head_layer)
+        )
+        if extendable:
             inflated = _inflated_regions(layer, head.out_regions, head_layer)
             original = partition.partition(name).out_regions()
             if _all_cores_active(inflated) and _stratum_spm_feasible(

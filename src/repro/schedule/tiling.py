@@ -229,6 +229,7 @@ def plan_tiles(
     input_stream_mask: Optional[Sequence[bool]] = None,
     stores_output: bool = True,
     resident_bytes: int = 0,
+    pipeline_tiles: Optional[int] = None,
 ) -> TilePlan:
     """Tile one sub-layer for pipelined execution.
 
@@ -238,6 +239,13 @@ def plan_tiles(
     already claimed by resident tensors (forwarded inputs, a resident
     output kept for the next layer) and shrinks the budget available to
     the streaming double buffers.
+
+    ``pipeline_tiles`` pins the pipeline-depth target, replacing the
+    fixed :data:`PIPELINE_TILES`-when-beneficial heuristic for this
+    sub-layer (the autotuner's tile-size knob).  SPM capacity still
+    dominates: the count only ever grows beyond the pin to fit the
+    double buffers, and the axis capacity caps it, so a pinned plan is
+    exactly as valid as a heuristic one.
     """
     core = npu.core(core_index)
     if out_region.is_empty:
@@ -285,7 +293,10 @@ def plan_tiles(
         comp = layer_compute_cycles(layer, out_region, core)
         hi, lo = max(dma, comp), min(dma, comp)
         beneficial = hi > 0 and lo / hi >= OVERLAP_BENEFIT_THRESHOLD
-        n_pipe = PIPELINE_TILES if beneficial else 1
+        if pipeline_tiles is not None:
+            n_pipe = pipeline_tiles
+        else:
+            n_pipe = PIPELINE_TILES if beneficial else 1
         alignment = core.spatial_alignment if axis == "h" else core.channel_alignment
         cap = _axis_capacity(out_region, axis, alignment) if axis != "none" else 1
         num_tiles = min(max(n_spm, n_pipe), cap)

@@ -1,0 +1,253 @@
+"""The design-space autotuner: determinism, safety, pruning, budget."""
+
+import pytest
+
+from repro.compiler import (
+    CompileOptions,
+    autotune,
+    compile_model,
+    options_fingerprint,
+)
+from repro.compiler.autotune import (
+    AUTO,
+    BudgetExhausted,
+    Evaluator,
+    GridStrategy,
+    STRATEGIES,
+    build_space,
+)
+from repro.hw import exynos2100_like, tiny_test_machine
+from repro.models import get_model, inception_v3_stem
+from repro.verify import verify_model
+
+from tests.conftest import make_chain_graph
+
+
+@pytest.fixture(scope="module")
+def exynos():
+    return exynos2100_like()
+
+
+@pytest.fixture(scope="module")
+def stem():
+    return inception_v3_stem()
+
+
+def _trajectory(report):
+    return [
+        (r.fingerprint, r.status, r.latency_us, r.lower_bound_us)
+        for r in report.trajectory
+    ]
+
+
+class RecordingStrategy:
+    """Wraps a strategy, keeping every candidate it proposed."""
+
+    name = "recording"
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.candidates = []
+
+    def search(self, space, evaluator, rng):
+        real_evaluate = evaluator.evaluate
+
+        def spy(options):
+            self.candidates.append(options)
+            return real_evaluate(options)
+
+        evaluator.evaluate = spy
+        try:
+            self.inner.search(space, evaluator, rng)
+        finally:
+            evaluator.evaluate = real_evaluate
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+    def test_same_seed_same_trajectory(self, exynos, stem, strategy):
+        """The full evaluation trajectory -- order, fingerprints, fates,
+        latencies -- is bit-identical across runs of one seed."""
+        a = autotune(stem, exynos, strategy=strategy, budget=18, seed=3)
+        b = autotune(stem, exynos, strategy=strategy, budget=18, seed=3)
+        assert _trajectory(a) == _trajectory(b)
+        assert a.best_fingerprint == b.best_fingerprint
+        assert a.best_latency_us == b.best_latency_us
+
+    def test_different_seeds_explore_differently(self, exynos, stem):
+        a = autotune(stem, exynos, strategy="beam+anneal", budget=18, seed=0)
+        b = autotune(stem, exynos, strategy="beam+anneal", budget=18, seed=1)
+        assert _trajectory(a) != _trajectory(b)
+
+
+class TestSafety:
+    def test_every_simulated_candidate_verifies(self, exynos, stem):
+        """No candidate reaches the simulator -- let alone the crown --
+        without a clean verifier report."""
+        recorder = RecordingStrategy(GridStrategy())
+        report = autotune(stem, exynos, strategy=recorder, budget=24, seed=0)
+        simulated = {
+            r.fingerprint for r in report.trajectory if r.status == "ok"
+        }
+        assert simulated
+        checked = 0
+        for options in recorder.candidates:
+            if options_fingerprint(options) in simulated:
+                compiled = compile_model(stem, exynos, options)
+                assert verify_model(compiled).ok
+                checked += 1
+        assert checked == len(simulated) - (
+            0 if report.baseline_fingerprint in {
+                options_fingerprint(o) for o in recorder.candidates
+            } else 1  # the baseline is evaluated by the driver, not the strategy
+        )
+
+    def test_winner_verifies_clean(self, exynos, stem):
+        report = autotune(stem, exynos, strategy="beam+anneal", budget=24, seed=0)
+        compiled = compile_model(stem, exynos, report.best_options)
+        assert verify_model(compiled).ok
+
+    def test_rejected_candidates_never_win(self, exynos, stem):
+        report = autotune(stem, exynos, strategy="grid", budget=24, seed=0)
+        losers = {
+            r.fingerprint
+            for r in report.trajectory
+            if r.status in ("verify-reject", "compile-error", "pruned")
+        }
+        assert report.best_fingerprint not in losers
+
+
+class TestBoundPruning:
+    def test_grid_decision_preservation(self, exynos, stem):
+        """With a fitness-independent proposal stream, pruning changes
+        *cost*, never the *decision*: same winner, same latency."""
+        pruned = autotune(
+            stem, exynos, strategy="grid", budget=30, seed=0, prune=True
+        )
+        unpruned = autotune(
+            stem, exynos, strategy="grid", budget=30, seed=0, prune=False
+        )
+        assert pruned.best_fingerprint == unpruned.best_fingerprint
+        assert pruned.best_latency_us == unpruned.best_latency_us
+        assert pruned.bound_prunes > 0
+        assert unpruned.bound_prunes == 0
+        assert pruned.simulations < unpruned.simulations
+
+    def test_pruned_candidates_could_not_have_won(self, exynos, stem):
+        """Soundness spot-check: re-simulating a pruned candidate never
+        lands below the final winner (lb <= sim, strict updates)."""
+        from repro.sim import simulate
+
+        recorder = RecordingStrategy(GridStrategy())
+        report = autotune(stem, exynos, strategy=recorder, budget=30, seed=0)
+        pruned = {
+            r.fingerprint for r in report.trajectory if r.status == "pruned"
+        }
+        assert pruned  # the stem grid does prune
+        for options in recorder.candidates:
+            if options_fingerprint(options) in pruned:
+                compiled = compile_model(stem, exynos, options)
+                result = simulate(compiled.program, exynos, seed=report.seed)
+                latency = exynos.cycles_to_us(result.makespan_cycles)
+                assert latency >= report.best_latency_us
+
+
+class TestBudget:
+    @pytest.mark.parametrize("budget", [1, 5, 18])
+    def test_evaluations_never_exceed_budget(self, exynos, stem, budget):
+        report = autotune(
+            stem, exynos, strategy="beam+anneal", budget=budget, seed=0
+        )
+        assert report.evaluations <= budget
+        assert report.evaluations == len(report.trajectory)
+        assert report.simulations + report.bound_prunes + \
+            report.verify_rejects + report.compile_errors == report.evaluations
+
+    def test_repeat_evaluations_are_free(self, exynos, stem):
+        evaluator = Evaluator(stem, exynos, budget=2, seed=0)
+        options = CompileOptions.stratum_config()
+        first = evaluator.evaluate(options)
+        second = evaluator.evaluate(options)
+        assert first == second
+        assert evaluator.evaluations == 1
+        assert evaluator.repeat_hits == 1
+
+    def test_budget_exhaustion_raises_for_strategies(self, exynos, stem):
+        evaluator = Evaluator(stem, exynos, budget=1, seed=0)
+        evaluator.evaluate(CompileOptions.stratum_config())
+        with pytest.raises(BudgetExhausted):
+            evaluator.evaluate(
+                CompileOptions.stratum_config().with_overrides(
+                    tiles={"stem_conv0": 2}
+                )
+            )
+
+    def test_bad_budget_rejected(self, exynos, stem):
+        with pytest.raises(ValueError):
+            autotune(stem, exynos, budget=0)
+
+
+class TestSearchSpace:
+    def test_space_covers_all_three_axes(self, exynos, stem):
+        options = CompileOptions.stratum_config()
+        baseline = compile_model(stem, exynos, options)
+        space = build_space(stem, exynos, options, baseline)
+        kinds = {k.kind for k in space.knobs}
+        assert kinds == {"direction", "tile", "stratum"}
+        # Stratum knobs exist exactly for the baseline's members.
+        stratum_layers = {
+            k.layer for k in space.knobs if k.kind == "stratum"
+        }
+        assert stratum_layers == set(baseline.strata.membership)
+
+    def test_choices_exclude_heuristic_default(self, exynos, stem):
+        options = CompileOptions.stratum_config()
+        baseline = compile_model(stem, exynos, options)
+        space = build_space(stem, exynos, options, baseline)
+        for knob in space.knobs:
+            if knob.kind == "direction":
+                current = baseline.partition.direction(knob.layer).value
+                assert current not in knob.choices
+
+    def test_set_and_unset_roundtrip(self, exynos, stem):
+        options = CompileOptions.stratum_config()
+        baseline = compile_model(stem, exynos, options)
+        space = build_space(stem, exynos, options, baseline)
+        for knob in space.knobs[:6]:
+            value = True if knob.kind == "stratum" else knob.choices[0]
+            pinned = space.set_knob(options, knob, value)
+            assert pinned != options
+            assert space.knob_value(pinned, knob) == value
+            reset = space.set_knob(
+                pinned, knob, False if knob.kind == "stratum" else AUTO
+            )
+            assert reset == options
+
+    def test_single_core_refused(self, stem):
+        npu = tiny_test_machine(1)
+        with pytest.raises(ValueError):
+            autotune(stem, npu, CompileOptions.single_core())
+
+    def test_unknown_strategy_rejected(self, exynos, stem):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            autotune(stem, exynos, strategy="exhaustive")
+
+
+class TestWinsOnZoo:
+    """The acceptance pins: the search must not lose to the heuristics."""
+
+    @pytest.mark.parametrize("model", ["MobileNetV2", "UNet"])
+    def test_winner_never_worse_than_baseline(self, exynos, model):
+        graph = get_model(model)
+        report = autotune(
+            graph, exynos, strategy="beam+anneal", budget=10, seed=0
+        )
+        assert report.best_latency_us <= report.baseline_latency_us
+        assert report.speedup >= 1.0
+
+    def test_small_chain_finds_baseline_at_least(self):
+        npu = tiny_test_machine(2)
+        graph = make_chain_graph()
+        report = autotune(graph, npu, strategy="grid", budget=16, seed=0)
+        assert report.best_latency_us <= report.baseline_latency_us
+        assert report.evaluations <= 16

@@ -1,0 +1,117 @@
+"""Candidate identity: CompileOptions equality, hash, and fingerprint.
+
+The autotuner treats a ``CompileOptions`` value as *the* candidate, so
+two distinct candidates must never alias to one cache/memo entry, and
+two spellings of the same candidate must always collide.  Every
+searchable knob is perturbed here and checked pairwise.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.compiler import CompileOptions, options_fingerprint
+
+
+def _stratum(**overrides):
+    return CompileOptions.stratum_config().with_overrides(**overrides)
+
+
+class TestKnobPerturbations:
+    def test_each_knob_axis_changes_identity(self):
+        """Perturbing any single searchable knob yields a candidate with
+        a distinct fingerprint, hash, and equality class."""
+        base = CompileOptions.stratum_config()
+        variants = [
+            base,
+            _stratum(directions={"conv0": "spatial"}),
+            _stratum(directions={"conv0": "channel"}),
+            _stratum(directions={"conv0": "none"}),
+            _stratum(directions={"conv1": "spatial"}),
+            _stratum(tiles={"conv0": 1}),
+            _stratum(tiles={"conv0": 2}),
+            _stratum(tiles={"conv0": 8}),
+            _stratum(tiles={"conv1": 2}),
+            _stratum(blocks={"conv0"}),
+            _stratum(blocks={"conv1"}),
+            _stratum(blocks={"conv0", "conv1"}),
+            _stratum(
+                directions={"conv0": "spatial"},
+                tiles={"conv0": 2},
+                blocks={"conv1"},
+            ),
+        ]
+        fingerprints = [options_fingerprint(v) for v in variants]
+        assert len(set(fingerprints)) == len(variants)
+        assert len(set(variants)) == len(variants)  # hash + eq agree
+        for a in variants:
+            for b in variants:
+                if a == b:
+                    assert options_fingerprint(a) == options_fingerprint(b)
+
+    def test_spelling_does_not_matter(self):
+        """Any ordering of the same overrides is one candidate."""
+        a = _stratum(
+            directions={"b": "spatial", "a": "channel"},
+            tiles={"y": 2, "x": 8},
+            blocks={"q", "p"},
+        )
+        b = _stratum(
+            directions={"a": "channel", "b": "spatial"},
+            tiles={"x": 8, "y": 2},
+            blocks={"p", "q"},
+        )
+        assert a == b
+        assert hash(a) == hash(b)
+        assert options_fingerprint(a) == options_fingerprint(b)
+
+    def test_duplicate_layer_pins_rejected(self):
+        with pytest.raises(ValueError, match="conflicting"):
+            dataclasses.replace(
+                CompileOptions.stratum_config(),
+                direction_overrides=(("c", "spatial"), ("c", "channel")),
+            )
+
+    def test_duplicate_identical_pins_deduped(self):
+        opts = dataclasses.replace(
+            CompileOptions.stratum_config(),
+            tile_overrides=(("c", 2), ("c", 2)),
+        )
+        assert opts.tile_overrides == (("c", 2),)
+
+    def test_bad_direction_value_rejected(self):
+        with pytest.raises(ValueError):
+            _stratum(directions={"c": "diagonal"})
+
+    def test_bad_tile_count_rejected(self):
+        with pytest.raises(ValueError):
+            _stratum(tiles={"c": 0})
+
+    def test_empty_overrides_equal_plain_config(self):
+        """The no-override candidate IS the heuristic baseline."""
+        assert _stratum() == CompileOptions.stratum_config()
+        assert options_fingerprint(_stratum()) == options_fingerprint(
+            CompileOptions.stratum_config()
+        )
+
+
+class TestFingerprintRobustness:
+    def test_frozenset_field_is_order_stable(self):
+        """Fingerprints of set-valued fields must not depend on iteration
+        order (the old ``repr``-based keying did)."""
+        a = CompileOptions.base(
+        ).with_overrides(blocks={"a", "b", "c", "d", "e"})
+        b = CompileOptions.base(
+        ).with_overrides(blocks={"e", "d", "c", "b", "a"})
+        assert options_fingerprint(a) == options_fingerprint(b)
+
+    def test_unknown_field_type_raises(self):
+        """A future field of an un-canonicalizable type must fail loudly,
+        not silently key on ``repr``."""
+
+        @dataclasses.dataclass(frozen=True)
+        class Weird:
+            payload: object = None
+
+        with pytest.raises(TypeError, match="payload"):
+            options_fingerprint(Weird(payload=object()))

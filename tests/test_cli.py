@@ -215,6 +215,43 @@ class TestBounds:
         assert "mean tightness" not in out
 
 
+class TestAutotune:
+    def test_report_and_baseline_diff(self, capsys):
+        assert (
+            main(
+                [
+                    "autotune", "stem", "--strategy", "grid",
+                    "--budget", "16", "--baseline",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "beats h1-h8" in out or "matched h1-h8" in out
+        assert "winning overrides" in out
+        assert "winner vs h1-h8 baseline" in out
+
+    def test_json_summary(self, capsys):
+        assert (
+            main(
+                [
+                    "autotune", "stem", "--strategy", "grid",
+                    "--budget", "12", "--json",
+                ]
+            )
+            == 0
+        )
+        data = json.loads(capsys.readouterr().out)
+        (run,) = data["runs"]
+        assert run["best_latency_us"] <= run["baseline_latency_us"]
+        assert run["evaluations"] <= 12
+        assert data["min_speedup"] >= 1.0
+
+    def test_single_core_config_refused(self):
+        with pytest.raises(SystemExit):
+            main(["autotune", "stem", "--config", "1core"])
+
+
 class TestServe:
     def test_compare_all_policies(self, capsys):
         assert (

@@ -126,6 +126,8 @@ def _fast_path(command: str) -> str:
         command += " --duration-short --requests 6"
     if " sweep" in command and "--seeds" not in command:
         command += " --seeds 1"
+    if " autotune" in command and "--budget" not in command:
+        command += " --budget 12"
     command = command.replace(" lint all", " lint stem")
     return command
 
