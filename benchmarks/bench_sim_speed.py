@@ -57,6 +57,12 @@ RESULT_PATH = REPO_ROOT / "BENCH_sim.json"
 SEEDS = (0, 1, 2)
 SIM_MODEL = "InceptionV3"
 SIM_ROUNDS = 5
+#: each cold-throughput pass is repeated this many times and the
+#: fastest pass scores (timeit-style: on a shared machine, scheduler
+#: noise only ever adds time, so the minimum is the least-biased
+#: estimate of core speed).  All generations are measured identically,
+#: keeping the machine-relative ratios honest.
+TIMING_REPEATS = 3
 #: memoized-regime cycles: each cycle re-requests every seed once.
 MEMO_CYCLES = 6
 
@@ -70,25 +76,25 @@ def _compiled_program(npu):
     return compiled.program
 
 
+def _best_pass(run_round) -> float:
+    """Fastest of ``TIMING_REPEATS`` timing passes over ``SIM_ROUNDS`` runs."""
+    best = float("inf")
+    for _ in range(TIMING_REPEATS):
+        t0 = time.perf_counter()
+        for i in range(SIM_ROUNDS):
+            run_round(i)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
 def measure_sim_throughput(npu) -> Dict[str, float]:
     """Cold events/second of all three scheduler generations."""
     program = _compiled_program(npu)
-    simulate(program, npu, seed=0, memo=None)  # warm the plan cache
+    result = simulate(program, npu, seed=0, memo=None)  # warm the plan cache
 
-    t0 = time.perf_counter()
-    for i in range(SIM_ROUNDS):
-        result = simulate(program, npu, seed=i, memo=None)
-    flat_elapsed = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    for i in range(SIM_ROUNDS):
-        simulate_event_driven(program, npu, seed=i)
-    event_elapsed = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    for i in range(SIM_ROUNDS):
-        simulate_reference(program, npu, seed=i)
-    ref_elapsed = time.perf_counter() - t0
+    flat_elapsed = _best_pass(lambda i: simulate(program, npu, seed=i, memo=None))
+    event_elapsed = _best_pass(lambda i: simulate_event_driven(program, npu, seed=i))
+    ref_elapsed = _best_pass(lambda i: simulate_reference(program, npu, seed=i))
 
     events_per_run = len(result.trace.events)
     events = events_per_run * SIM_ROUNDS

@@ -34,8 +34,8 @@ from repro.hw.config import NPUConfig
 from repro.sim import memo as memo_mod
 from repro.sim.bus import FluidBus
 from repro.sim.memo import USE_DEFAULT_MEMO, SimMemo
-from repro.sim.simulator import SimResult, _plan_for
-from repro.sim.trace import Trace, TraceEvent
+from repro.sim.simulator import SimResult, _finished_columns, _plan_for
+from repro.sim.trace import Trace
 
 _EPS = 1e-9
 
@@ -374,13 +374,16 @@ def simulate_faulted(
     for core in throttled_cores:
         cool(core, clock)
 
-    trace_fields = splan.trace_fields
-    events = [
-        TraceEvent(*trace_fields[cid], r_start[cid], done_at[cid], r_own[cid], r_dep[cid])
-        for cid in range(total)
-        if finished[cid]
-    ]
-    trace = Trace(events=sorted(events, key=lambda e: (e.start, e.cid)))
+    trace = Trace(
+        columns=_finished_columns(
+            splan,
+            [cid for cid in range(total) if finished[cid]],
+            r_start,
+            done_at,
+            r_own,
+            r_dep,
+        )
+    )
     stats = FaultStats(
         plan=plan.describe(),
         dead_cores=tuple(c for c in range(npu.num_cores) if dead[c]),

@@ -81,12 +81,12 @@ def _span_us(
     out: InjectionOutcome, npu: NPUConfig
 ) -> Tuple[float, float]:
     """Absolute (start, finish) of an injection's completed commands."""
-    events = out.trace.events
-    if not events:
+    trace = out.trace
+    if not len(trace):
         return out.origin_us, out.origin_us
     return (
-        out.origin_us + npu.cycles_to_us(events[0].start),
-        out.origin_us + npu.cycles_to_us(out.trace.makespan),
+        out.origin_us + npu.cycles_to_us(trace.column("start")[0]),
+        out.origin_us + npu.cycles_to_us(trace.makespan),
     )
 
 

@@ -11,13 +11,25 @@ bandwidth of the system bus", Section 3.2).
 The arithmetic here is load-bearing for reproducibility: the simulator
 promises bit-identical traces for equal seeds, so any rewrite of these
 methods must produce the exact same float sequences (same operations in
-the same order), not merely equivalent math.
+the same order), not merely equivalent math.  The numpy twins below
+(``refill_rates_wide``, ``advance_wide``, ``eta_wide``) honour that
+contract by vectorizing only the order-independent parts: elementwise
+decrements are float-for-float what the scalar loop computes, min is a
+selection, and the stable argsort equals the stable list sort -- while
+the water-filling budget walk itself stays scalar, because its running
+budget is *sequentially rounded* (each subtraction feeds the next fair
+share) and has no closed form with the same rounding.  Both
+:class:`FluidBus` and the inlined bus in :mod:`repro.sim.simulator`
+switch to the twins once ``_VECTOR_MIN`` transfers are in flight;
+below that, per-call numpy overhead loses to straight-line Python.
 """
 
 from __future__ import annotations
 
 import operator
-from typing import Dict, List
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
 
 # Residual bytes below this count as finished.  The scale matters: the
 # simulation clock sits in the 1e5..1e7 cycle range, where float64 ulp is
@@ -25,7 +37,66 @@ from typing import Dict, List
 # corresponding eta never rounds to zero time (a livelock otherwise).
 _EPS = 1e-6
 
+#: in-flight transfer count at which the numpy twins take over.  Real
+#: CNN programs keep 1-6 transfers in flight; many-tenant sessions and
+#: synthetic wide-bus workloads cross over.  Read at call time, so
+#: tests can monkeypatch it low to force the vector paths.
+_VECTOR_MIN = 16
+
 _by_cap = operator.attrgetter("cap")
+
+
+def refill_rates_wide(caps: Sequence[float], bandwidth: float) -> List[float]:
+    """Water-filling rates for ``caps`` sharing ``bandwidth`` (vectorized sort).
+
+    The stable argsort equals ``sorted(range(n), key=caps.__getitem__)``
+    (ties keep insertion order).  The budget walk stays scalar: each
+    subtraction's rounding feeds the next fair share, so vectorizing it
+    would change the float sequence.
+    """
+    order = np.argsort(np.asarray(caps), kind="stable").tolist()
+    n = len(order)
+    rates = [0.0] * n
+    budget = bandwidth
+    i = n
+    for j in order:
+        fair = budget / i
+        cap = caps[j]
+        rate = cap if cap <= fair else fair
+        rates[j] = rate
+        budget -= rate
+        i -= 1
+    return rates
+
+
+def advance_wide(
+    rem: Sequence[float], rates: Sequence[float], dt: float
+) -> Tuple[List[float], List[int]]:
+    """Decrement all residuals by ``rate * dt`` in one array op.
+
+    Returns the new residuals and the indices that crossed the finish
+    epsilon.  ``a - b * dt`` elementwise over float64 is bit-identical
+    to the scalar per-transfer decrement.
+    """
+    new = np.asarray(rem) - np.asarray(rates) * dt
+    fin = np.nonzero(new <= _EPS)[0]
+    return new.tolist(), fin.tolist()
+
+
+def eta_wide(rem: Sequence[float], rates: Sequence[float]) -> float:
+    """Time until the next transfer finishes, as one masked reduction.
+
+    Matches the scalar eta exactly: negative residuals clamp to zero
+    (``where``, not ``maximum``, to preserve -0.0 handling) and min is
+    an order-independent selection.
+    """
+    rate_arr = np.asarray(rates)
+    mask = rate_arr > 0.0
+    if not mask.any():
+        return float("inf")
+    rem_arr = np.asarray(rem)[mask]
+    rem_arr = np.where(rem_arr < 0.0, 0.0, rem_arr)
+    return float((rem_arr / rate_arr[mask]).min())
 
 
 class _Transfer:
@@ -76,12 +147,20 @@ class FluidBus:
         """Water-filling allocation of the bus among active transfers."""
         active = self._active
         budget = self.total_bandwidth
-        if len(active) == 1:
+        n = len(active)
+        if n == 1:
             for tr in active.values():
                 tr.rate = tr.cap if tr.cap <= budget else budget
             return
+        if n >= _VECTOR_MIN:
+            # Vector twin: stable argsort over insertion order equals
+            # the stable sort of the dict's values.
+            transfers = list(active.values())
+            rates = refill_rates_wide([tr.cap for tr in transfers], budget)
+            for tr, rate in zip(transfers, rates):
+                tr.rate = rate
+            return
         transfers = sorted(active.values(), key=_by_cap)
-        n = len(transfers)
         for i, tr in enumerate(transfers):
             fair = budget / (n - i)
             cap = tr.cap
@@ -91,8 +170,14 @@ class FluidBus:
 
     def eta(self) -> float:
         """Time until the next active transfer finishes (inf when idle)."""
+        active = self._active
+        if len(active) >= _VECTOR_MIN:
+            return eta_wide(
+                [tr.remaining for tr in active.values()],
+                [tr.rate for tr in active.values()],
+            )
         best = float("inf")
-        for tr in self._active.values():
+        for tr in active.values():
             rate = tr.rate
             if rate > 0:
                 remaining = tr.remaining
@@ -107,13 +192,24 @@ class FluidBus:
         """Progress all transfers by ``dt``; return cids that completed."""
         if dt < 0:
             raise ValueError("cannot advance backwards")
+        active = self._active
         finished: List[int] = []
-        for tr in self._active.values():
-            tr.remaining -= tr.rate * dt
-            if tr.remaining <= _EPS:
-                finished.append(tr.cid)
+        if len(active) >= _VECTOR_MIN:
+            transfers = list(active.values())
+            new_rem, fin = advance_wide(
+                [tr.remaining for tr in transfers],
+                [tr.rate for tr in transfers],
+                dt,
+            )
+            for tr, rem in zip(transfers, new_rem):
+                tr.remaining = rem
+            finished = [transfers[i].cid for i in fin]
+        else:
+            for tr in active.values():
+                tr.remaining -= tr.rate * dt
+                if tr.remaining <= _EPS:
+                    finished.append(tr.cid)
         if finished:
-            active = self._active
             for cid in finished:
                 del active[cid]
             self._recompute_rates()

@@ -104,16 +104,15 @@ def estimate_energy(
     array included); each barrier command pays the sync cost once per
     participating core.
     """
-    macs = 0
-    dma_bytes = 0
-    syncs = 0
-    for event in trace.events:
-        if event.kind is CommandKind.COMPUTE:
-            macs += event.macs
-        elif event.kind in _DMA_KINDS:
-            dma_bytes += event.num_bytes
-        elif event.kind is CommandKind.BARRIER:
-            syncs += 1
+    macs_col = trace.column("macs")
+    bytes_col = trace.column("num_bytes")
+    macs = sum(macs_col[p] for p in trace.positions("kind", CommandKind.COMPUTE))
+    dma_bytes = sum(
+        bytes_col[p]
+        for kind in _DMA_KINDS
+        for p in trace.positions("kind", kind)
+    )
+    syncs = len(trace.positions("kind", CommandKind.BARRIER))
 
     latency_us = npu.cycles_to_us(trace.makespan)
     return EnergyReport(

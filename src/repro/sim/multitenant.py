@@ -148,18 +148,21 @@ def tenant_spans(
     Tenants are identified by the layer prefix :func:`merge_programs`
     applied.  Names without any events are absent from the result.
     """
+    layer_col = trace.column("layer")
+    start_col = trace.column("start")
+    end_col = trace.column("end")
     spans: Dict[str, Tuple[float, float]] = {}
     for name in names:
         prefix = f"{name}/"
-        starts_ends = [
-            (e.start, e.end)
-            for e in trace.events
-            if e.layer.startswith(prefix) or e.layer == name
+        positions = [
+            p
+            for p, layer in enumerate(layer_col)
+            if layer.startswith(prefix) or layer == name
         ]
-        if starts_ends:
+        if positions:
             spans[name] = (
-                min(s for s, _ in starts_ends),
-                max(e for _, e in starts_ends),
+                min(start_col[p] for p in positions),
+                max(end_col[p] for p in positions),
             )
     return spans
 

@@ -49,8 +49,8 @@ from repro.hw.config import NPUConfig
 from repro.sim import memo as memo_mod
 from repro.sim.bus import FluidBus
 from repro.sim.memo import USE_DEFAULT_MEMO, SimMemo
-from repro.sim.simulator import SimResult, _plan_for, _SimPlan
-from repro.sim.trace import Trace, TraceEvent
+from repro.sim.simulator import SimResult, _finished_columns, _plan_for, _SimPlan
+from repro.sim.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.plan import FaultPlan
@@ -488,16 +488,16 @@ class SimSession:
         inj = self._active.pop(iid)
         if self._fast_iid == iid:
             self._fast_iid = None
-        trace_fields = inj.plan.trace_fields
-        events = [
-            TraceEvent(
-                *trace_fields[cid],
-                inj.r_start[cid], inj.done_at[cid], inj.r_own[cid], inj.r_dep[cid],
+        trace = Trace(
+            columns=_finished_columns(
+                inj.plan,
+                [cid for cid in range(inj.total) if inj.finished[cid]],
+                inj.r_start,
+                inj.done_at,
+                inj.r_own,
+                inj.r_dep,
             )
-            for cid in range(inj.total)
-            if inj.finished[cid]
-        ]
-        trace = Trace(events=sorted(events, key=lambda e: (e.start, e.cid)))
+        )
         if inj.solo and self.check_bounds:
             from repro.verify.bounds import bounds_for
 

@@ -11,17 +11,28 @@ exactly as on the real memory system.
 The scheduler here is *event-driven* over flat struct-of-arrays state:
 a precomputed reverse-dependency index (consumers per command), flat
 outstanding-dependency counters, and the bus kept as parallel arrays of
-(cid, residual bytes, link cap, rate) with water-filling recomputed
-*lazily* -- membership changes only mark the rate vector dirty, and the
-refill runs once before the next eta query instead of once per change.
-That deferral is bit-exact: rates are a pure function of current
-membership (same sorted order, same float sequence as the eager
-version) and transfers never integrate over an interval with a stale
-rate, because every advance is preceded by an eta query.  Trace-only
-readiness fields (``start``, ``own_ready``, ``dep_ready``) are derived
-after the run from completion times -- they are outputs, never
-scheduling inputs -- which keeps per-start dependency scans out of the
-hot loop entirely.
+(cid, residual bytes, link cap, rate).  The bus kernels are *batched
+per decision epoch*: one pass advances every in-flight transfer by the
+epoch's ``dt`` and, in the same pass, computes the next bus eta -- the
+clock does not move between those two reads, so fusing them is float-
+for-float identical to the query-then-advance split it replaces.  The
+water-filling refill is likewise fused with its following eta query and
+fully unrolled for the 1-3 concurrent transfers that dominate real
+programs; wider in-flight sets (``_VECTOR_MIN`` and up) switch to the
+numpy twins in :mod:`repro.sim.bus`, which vectorize the sort, the
+advance and the eta reduction while keeping the sequentially-rounded
+budget walk scalar (see ``bus.refill_rates_wide`` for why).
+
+Trace assembly is *columnar and lazy*.  The loop records completion
+times only; the trace-only readiness fields (``start``, ``own_ready``,
+``dep_ready``) are selections among completion times -- outputs, never
+scheduling inputs -- and are derived post-run by batched numpy
+reductions (``maximum.reduceat``) over the plan's flattened dependency
+index.  Even that derivation is deferred into the returned
+:class:`~repro.sim.trace.Trace`: a cold simulation returns after the
+event loop plus one ``max`` for the makespan, and readiness columns or
+:class:`~repro.sim.trace.TraceEvent` views materialize only when a
+consumer first reads the trace.
 
 The seed-independent part of the precomputation (queues, dependency
 index, durations) is built once per (program, machine) and cached on
@@ -46,21 +57,31 @@ import heapq
 import random
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.compiler.program import CommandKind, Engine, Program
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.plan import FaultPlan, FaultStats
 from repro.cost.compute import compute_cycles
 from repro.hw.config import NPUConfig
+from repro.sim import bus as bus_mod
 from repro.sim import memo as memo_mod
 from repro.sim.memo import USE_DEFAULT_MEMO, SimMemo
-from repro.sim.trace import Trace, TraceEvent
+from repro.sim.trace import Trace, TraceColumns
 
 _EPS = 1e-9
 
 #: byte residue below which a bus transfer counts as finished (must
 #: match :data:`repro.sim.bus._EPS`; the flat core inlines the bus).
 _BUS_EPS = 1e-6
+
+#: in-flight transfer count at which the inlined bus switches from the
+#: unrolled scalar kernels to the numpy twins in :mod:`repro.sim.bus`.
+#: Real CNN programs keep 1-6 transfers in flight, where per-call numpy
+#: overhead loses to straight-line Python; wide buses (many-tenant
+#: sessions) cross over.  Read once per run, so tests can monkeypatch.
+_VECTOR_MIN = 16
 
 #: event kinds in the time heap
 _END = 0
@@ -100,15 +121,17 @@ class _SimPlan:
     Everything here is derived from the command list and the machine
     description only: flattened engine queues, the reverse-dependency
     index, outstanding-dependency counts, fixed durations and DMA link
-    caps.  Per-seed jitter tables are layered on top by
-    :meth:`delays_for` and cached, since serving and sweep workloads
-    revisit a handful of seeds.
+    caps, plus the flattened (CSR-style) dependency index the columnar
+    trace derivation reduces over.  Per-seed jitter tables are layered
+    on top by :meth:`delays_for` and cached, since serving and sweep
+    workloads revisit a handful of seeds.
     """
 
     __slots__ = (
         "total",
         "nq",
         "qcids",
+        "qlen",
         "qid_of",
         "deps_of",
         "own_deps_of",
@@ -119,10 +142,19 @@ class _SimPlan:
         "dma_cap",
         "num_bytes",
         "num_bytes_f",
+        "uniform_dma_cap",
         "jittered",
         "trace_fields",
         "prev_q",
+        "prev_np",
+        "dep_flat",
+        "dep_starts",
+        "dep_cids",
+        "own_flat",
+        "own_starts",
+        "own_cids",
         "protos",
+        "static_cols",
         "_delay_cache",
     )
 
@@ -145,6 +177,7 @@ class _SimPlan:
             qid_of[cmd.cid] = qid
         self.nq = len(qid_of_key)
         self.qcids = [queues[key] for key in qid_of_key]
+        self.qlen = [len(cids) for cids in self.qcids]
 
         #: in-queue predecessor of each command (-1 for queue heads);
         #: lets the trace pass reconstruct engine-free times post-run.
@@ -209,10 +242,49 @@ class _SimPlan:
                 cmd.num_bytes,
                 cmd.macs,
             )
-        #: per-command static TraceEvent fields as prototype dicts; the
-        #: trace pass copies one and fills the four timing fields.
+        #: True when every bus-joining transfer has the same DMA link cap
+        #: (homogeneous machines): the water-filling sort is then the
+        #: identity permutation and the hot loop skips it outright.
+        self.uniform_dma_cap = (
+            len({dma_cap[cid] for cid in range(total) if evkind[cid]}) <= 1
+        )
+        #: per-command static TraceEvent fields as prototype dicts; trace
+        #: materialization copies one and fills the four timing fields.
         names = ("cid", "core", "engine", "kind", "layer", "tag", "num_bytes", "macs")
         self.protos = [dict(zip(names, tf)) for tf in trace_fields]
+        #: the same fields as per-cid columns, for columnar gathers
+        self.static_cols = {
+            name: [tf[i] for tf in trace_fields] for i, name in enumerate(names)
+        }
+
+        # Flattened dependency index (CSR layout, non-empty rows only):
+        # the post-run readiness derivation reduces completion times over
+        # these segments with ``np.maximum.reduceat`` instead of a
+        # per-command Python scan.
+        dep_flat: List[int] = []
+        dep_starts: List[int] = []
+        dep_cids: List[int] = []
+        own_flat: List[int] = []
+        own_starts: List[int] = []
+        own_cids: List[int] = []
+        for cid in range(total):
+            ds = deps_of[cid]
+            if ds:
+                dep_starts.append(len(dep_flat))
+                dep_cids.append(cid)
+                dep_flat.extend(ds)
+            own = own_deps_of[cid]
+            if own:
+                own_starts.append(len(own_flat))
+                own_cids.append(cid)
+                own_flat.extend(own)
+        self.dep_flat = np.array(dep_flat, dtype=np.intp)
+        self.dep_starts = np.array(dep_starts, dtype=np.intp)
+        self.dep_cids = np.array(dep_cids, dtype=np.intp)
+        self.own_flat = np.array(own_flat, dtype=np.intp)
+        self.own_starts = np.array(own_starts, dtype=np.intp)
+        self.own_cids = np.array(own_cids, dtype=np.intp)
+        self.prev_np = np.array(prev_q, dtype=np.intp)
 
     def delays_for(self, seed: int) -> List[float]:
         """Per-command durations with this seed's jitter applied.
@@ -326,13 +398,102 @@ def simulate(
     return result
 
 
+def _derive_columns(plan: _SimPlan, done_at: List[float]) -> TraceColumns:
+    """Batched post-run derivation of the columnar trace payload.
+
+    A command starts the moment its last enabler completes: the
+    in-queue predecessor (which also freed the engine) or its slowest
+    dependency.  These are *selections* among final completion times,
+    never arithmetic, so the segmented ``maximum.reduceat`` reductions
+    below produce the exact floats of the per-command scan they
+    replace; the stable argsort on starts equals sorting (start, cid)
+    pairs because ties fall back to index order.
+    """
+    done = np.array(done_at)
+    prev = plan.prev_np
+    # prev is -1 for queue heads; the fancy-index result at those slots
+    # is masked off by the where(), so the wrap-around read is harmless.
+    base = np.where(prev >= 0, done[prev], 0.0)
+    r_dep = np.zeros(plan.total)
+    if len(plan.dep_flat):
+        r_dep[plan.dep_cids] = np.maximum.reduceat(done[plan.dep_flat], plan.dep_starts)
+    r_own = base.copy()
+    if len(plan.own_flat):
+        red = np.maximum.reduceat(done[plan.own_flat], plan.own_starts)
+        cids = plan.own_cids
+        np.maximum(r_own[cids], red, out=red)
+        r_own[cids] = red
+    starts = np.maximum(base, r_dep)
+    order = np.argsort(starts, kind="stable")
+    # .tolist() yields plain Python floats: downstream consumers (stats
+    # sums, json dumps) must never see numpy scalars.
+    return TraceColumns(
+        cids=order.tolist(),
+        start=starts[order].tolist(),
+        end=done[order].tolist(),
+        own_ready=r_own[order].tolist(),
+        dep_ready=r_dep[order].tolist(),
+        protos=plan.protos,
+        static=plan.static_cols,
+    )
+
+
+def _finished_columns(
+    plan: _SimPlan,
+    finished_cids: List[int],
+    r_start: List[float],
+    done_at: List[float],
+    r_own: List[float],
+    r_dep: List[float],
+) -> TraceColumns:
+    """Columnar trace payload for a finished subset of a plan's commands.
+
+    Sessions and the fault engine track readiness live (their starts
+    depend on cross-injection and fault state), so they gather columns
+    eagerly rather than deriving them.  ``finished_cids`` must be
+    ascending: the stable sort on start then equals ordering by
+    (start, cid), the event order every core emits.
+    """
+    order = sorted(finished_cids, key=r_start.__getitem__)
+    return TraceColumns(
+        cids=order,
+        start=[r_start[c] for c in order],
+        end=[done_at[c] for c in order],
+        own_ready=[r_own[c] for c in order],
+        dep_ready=[r_dep[c] for c in order],
+        protos=plan.protos,
+        static=plan.static_cols,
+    )
+
+
 def _simulate_clean(program: Program, npu: NPUConfig, seed: int) -> SimResult:
     """The flat-array hot loop (clean runs; no memo, no fault plan)."""
     plan = _plan_for(program, npu)
-    total = plan.total
+    done_at = _run_flat(plan, program, npu, seed)
+    # Column derivation (and event materialization beyond it) is lazy:
+    # cold timed runs end here, at loop + makespan.
+    trace = Trace(columns=lambda: _derive_columns(plan, done_at))
+    makespan = max(done_at) if done_at else 0.0
+    return SimResult(trace=trace, makespan_cycles=makespan, npu=npu)
 
+
+def _run_flat(
+    plan: _SimPlan, program: Program, npu: NPUConfig, seed: int
+) -> List[float]:
+    """Run the event loop; returns per-command completion times.
+
+    The bus is inlined as parallel arrays with the water-filling refill
+    deferred to the next eta query (``b_dirty``) and both the refill
+    and the per-epoch advance *fused* with the eta they would otherwise
+    be followed by -- the clock does not move in between, so the fused
+    float sequence is identical.  The kernels are unrolled for 1-3
+    in-flight transfers; at ``_VECTOR_MIN`` or more they hand off to
+    the numpy twins in :mod:`repro.sim.bus`.
+    """
+    total = plan.total
     qcids = plan.qcids
     nq = plan.nq
+    qlen = plan.qlen
     qid_of = plan.qid_of
     consumers = plan.consumers
     indeg = list(plan.indeg0)
@@ -340,6 +501,8 @@ def _simulate_clean(program: Program, npu: NPUConfig, seed: int) -> SimResult:
     dma_cap = plan.dma_cap
     num_bytes_f = plan.num_bytes_f
     delay = plan.delays_for(seed)  # shared, read-only
+    uniform_cap = plan.uniform_dma_cap
+    vec_min = _VECTOR_MIN
 
     qhead = [0] * nq
     qbusy = [False] * nq
@@ -347,40 +510,40 @@ def _simulate_clean(program: Program, npu: NPUConfig, seed: int) -> SimResult:
     # Completion times; a slot is valid once the command completed (every
     # read is gated by the outstanding-dependency counter hitting zero).
     done_at = [0.0] * total
-    completed = 0
+    remaining = total
 
     heap: List[Tuple[float, int, int]] = []  # (time, seq, cid)
     seq = 0
-    # The bus as parallel arrays (struct-of-arrays): residual bytes, link
-    # caps and current rates of in-flight transfers.  ``b_dirty`` defers
-    # the water-filling refill to the next eta query.
     bw = npu.bus_bytes_per_cycle
+    half_bw = bw / 2  # same float as budget / (2 - 0) in the generic walk
+    third_bw = bw / 3
     b_cid: List[int] = []
     b_rem: List[float] = []
     b_cap: List[float] = []
     b_rate: List[float] = []
+    nb = 0
     b_dirty = False
+    t_bus = inf = float("inf")
     clock = 0.0
 
     # Engine queues whose head may have become startable.  Seeded with
     # every queue; afterwards only completions repopulate it.
     check: List[int] = list(range(nq))
-
-    inf = float("inf")
+    check_pop = check.pop
+    check_append = check.append
     heappush = heapq.heappush
     heappop = heapq.heappop
 
-    while completed < total:
+    while remaining:
         # Start every startable queue head reachable from the check set.
         while check:
-            qid = check.pop()
+            qid = check_pop()
             if qbusy[qid]:
                 continue
             idx = qhead[qid]
-            cids = qcids[qid]
-            if idx >= len(cids):
+            if idx >= qlen[qid]:
                 continue
-            cid = cids[idx]
+            cid = qcids[qid][idx]
             if indeg[cid]:
                 continue
             qbusy[qid] = True
@@ -389,48 +552,129 @@ def _simulate_clean(program: Program, npu: NPUConfig, seed: int) -> SimResult:
             seq += 1
 
         t_heap = heap[0][0] if heap else inf
-        nb = len(b_cid)
-        if nb:
-            if b_dirty:
-                # Water-filling refill, deferred from membership changes.
-                # Same float sequence as FluidBus._recompute_rates: the
-                # index sort is stable, and parallel-array insertion
-                # order equals the dict insertion order it replaces.
-                if nb == 1:
-                    cap = b_cap[0]
-                    b_rate[0] = cap if cap <= bw else bw
+        if b_dirty:
+            # Water-filling refill, deferred from membership changes and
+            # fused with the eta query that always follows it (min is
+            # order-independent and every slot is written exactly once,
+            # so the floats match the split refill-then-scan).  Same
+            # float sequence as FluidBus._recompute_rates: the sort is
+            # stable and parallel-array insertion order equals the dict
+            # insertion order it replaces.
+            if nb == 1:
+                cap = b_cap[0]
+                rate = cap if cap <= bw else bw
+                b_rate[0] = rate
+                t_bus = clock + b_rem[0] / rate
+            elif nb == 2:
+                c0 = b_cap[0]
+                c1 = b_cap[1]
+                if c0 <= c1:
+                    rlo = c0 if c0 <= half_bw else half_bw
+                    budget = bw - rlo
+                    rhi = c1 if c1 <= budget else budget
+                    b_rate[0] = rlo
+                    b_rate[1] = rhi
+                    best = inf
+                    if rlo > 0.0:
+                        best = b_rem[0] / rlo
+                    if rhi > 0.0:
+                        t = b_rem[1] / rhi
+                        if t < best:
+                            best = t
                 else:
-                    order = sorted(range(nb), key=b_cap.__getitem__)
-                    budget = bw
-                    i = 0
-                    for j in order:
-                        fair = budget / (nb - i)
-                        cap = b_cap[j]
-                        rate = cap if cap <= fair else fair
-                        b_rate[j] = rate
-                        budget -= rate
-                        i += 1
-                b_dirty = False
-            best = inf
-            for i in range(nb):
-                rate = b_rate[i]
-                if rate > 0.0:
-                    rem = b_rem[i]
-                    if rem < 0.0:
-                        rem = 0.0
-                    t = rem / rate
+                    rlo = c1 if c1 <= half_bw else half_bw
+                    budget = bw - rlo
+                    rhi = c0 if c0 <= budget else budget
+                    b_rate[1] = rlo
+                    b_rate[0] = rhi
+                    best = inf
+                    if rlo > 0.0:
+                        best = b_rem[1] / rlo
+                    if rhi > 0.0:
+                        t = b_rem[0] / rhi
+                        if t < best:
+                            best = t
+                t_bus = clock + best
+            elif nb == 3:
+                # Stable 3-sort by (cap, index), unrolled: ja/jb/jc are
+                # the slot indices in ascending cap order, ties keeping
+                # insertion order (every branch uses <=).
+                c0 = b_cap[0]
+                c1 = b_cap[1]
+                c2 = b_cap[2]
+                if c0 <= c1:
+                    if c1 <= c2:
+                        ja, jb, jc = 0, 1, 2
+                        ca, cb, cc = c0, c1, c2
+                    elif c0 <= c2:
+                        ja, jb, jc = 0, 2, 1
+                        ca, cb, cc = c0, c2, c1
+                    else:
+                        ja, jb, jc = 2, 0, 1
+                        ca, cb, cc = c2, c0, c1
+                elif c0 <= c2:
+                    ja, jb, jc = 1, 0, 2
+                    ca, cb, cc = c1, c0, c2
+                elif c1 <= c2:
+                    ja, jb, jc = 1, 2, 0
+                    ca, cb, cc = c1, c2, c0
+                else:
+                    ja, jb, jc = 2, 1, 0
+                    ca, cb, cc = c2, c1, c0
+                ra = ca if ca <= third_bw else third_bw
+                budget = bw - ra
+                fair = budget / 2
+                rb = cb if cb <= fair else fair
+                budget -= rb
+                rc = cc if cc <= budget else budget
+                b_rate[ja] = ra
+                b_rate[jb] = rb
+                b_rate[jc] = rc
+                best = inf
+                if ra > 0.0:
+                    best = b_rem[ja] / ra
+                if rb > 0.0:
+                    t = b_rem[jb] / rb
                     if t < best:
                         best = t
-            t_bus = clock + best
-        else:
-            t_bus = inf
+                if rc > 0.0:
+                    t = b_rem[jc] / rc
+                    if t < best:
+                        best = t
+                t_bus = clock + best
+            elif nb >= vec_min:
+                b_rate[:] = bus_mod.refill_rates_wide(b_cap, bw)
+                t_bus = clock + bus_mod.eta_wide(b_rem, b_rate)
+            else:
+                # All-equal caps make the stable sort the identity.
+                if uniform_cap:
+                    order = range(nb)
+                else:
+                    order = sorted(range(nb), key=b_cap.__getitem__)
+                budget = bw
+                i = nb
+                best = inf
+                for j in order:
+                    fair = budget / i
+                    cap = b_cap[j]
+                    rate = cap if cap <= fair else fair
+                    b_rate[j] = rate
+                    budget -= rate
+                    i -= 1
+                    if rate > 0.0:
+                        t = b_rem[j] / rate
+                        if t < best:
+                            best = t
+                t_bus = clock + best
+            b_dirty = False
+
         t_next = t_heap if t_heap <= t_bus else t_bus
         if t_next == inf:
             commands = program.commands
             waiting = [
                 str(commands[qcids[qid][qhead[qid]]])
                 for qid in range(nq)
-                if not qbusy[qid] and qhead[qid] < len(qcids[qid])
+                if not qbusy[qid] and qhead[qid] < qlen[qid]
             ]
             raise RuntimeError(
                 f"simulation deadlock at t={clock}: blocked heads={waiting[:8]}"
@@ -439,32 +683,139 @@ def _simulate_clean(program: Program, npu: NPUConfig, seed: int) -> SimResult:
         finished_dma = None
         if nb:
             if dt > 0.0:
-                fin = None
-                for i in range(nb):
-                    r = b_rem[i] - b_rate[i] * dt
-                    b_rem[i] = r
+                # Fused advance + finish-check + next-eta: decrement all
+                # residuals by this epoch's dt and compute the survivors'
+                # eta in the same pass (the next refill only happens on
+                # membership change, so the eta written here is final).
+                if nb == 1:
+                    r = b_rem[0] - b_rate[0] * dt
                     if r <= _BUS_EPS:
-                        if fin is None:
-                            fin = [i]
+                        finished_dma = (b_cid[0],)
+                        del b_cid[0], b_rem[0], b_cap[0], b_rate[0]
+                        nb = 0
+                        t_bus = inf
+                    else:
+                        b_rem[0] = r
+                        t_bus = t_next + r / b_rate[0]
+                elif nb == 2:
+                    rate0 = b_rate[0]
+                    rate1 = b_rate[1]
+                    r0 = b_rem[0] - rate0 * dt
+                    r1 = b_rem[1] - rate1 * dt
+                    b_rem[0] = r0
+                    b_rem[1] = r1
+                    if r0 <= _BUS_EPS:
+                        if r1 <= _BUS_EPS:
+                            finished_dma = (b_cid[0], b_cid[1])
+                            del b_cid[:], b_rem[:], b_cap[:], b_rate[:]
+                            nb = 0
+                            t_bus = inf
                         else:
-                            fin.append(i)
-                if fin is not None:
-                    finished_dma = [b_cid[i] for i in fin]
-                    for i in reversed(fin):
-                        del b_cid[i]
-                        del b_rem[i]
-                        del b_cap[i]
-                        del b_rate[i]
-                    b_dirty = True
-            elif dt < 0.0:
-                raise ValueError("cannot advance backwards")
-            # dt == 0 can finish nothing (every residual exceeded the
-            # epsilon when it was last written), so the decrement pass
-            # is skipped entirely.
-            if finished_dma is None and t_next == t_bus and t_next <= clock:
-                # eta underflowed the clock's float resolution: retire
-                # the nearest transfer(s) directly rather than spinning
-                # at dt == 0 (FluidBus.force_min_completion, inlined).
+                            finished_dma = (b_cid[0],)
+                            del b_cid[0], b_rem[0], b_cap[0], b_rate[0]
+                            nb = 1
+                            b_dirty = True
+                    elif r1 <= _BUS_EPS:
+                        finished_dma = (b_cid[1],)
+                        del b_cid[1], b_rem[1], b_cap[1], b_rate[1]
+                        nb = 1
+                        b_dirty = True
+                    else:
+                        best = inf
+                        if rate0 > 0.0:
+                            best = r0 / rate0
+                        if rate1 > 0.0:
+                            t = r1 / rate1
+                            if t < best:
+                                best = t
+                        t_bus = t_next + best
+                elif nb == 3:
+                    rate0 = b_rate[0]
+                    rate1 = b_rate[1]
+                    rate2 = b_rate[2]
+                    r0 = b_rem[0] - rate0 * dt
+                    r1 = b_rem[1] - rate1 * dt
+                    r2 = b_rem[2] - rate2 * dt
+                    b_rem[0] = r0
+                    b_rem[1] = r1
+                    b_rem[2] = r2
+                    if r0 <= _BUS_EPS or r1 <= _BUS_EPS or r2 <= _BUS_EPS:
+                        fin = []
+                        if r0 <= _BUS_EPS:
+                            fin.append(0)
+                        if r1 <= _BUS_EPS:
+                            fin.append(1)
+                        if r2 <= _BUS_EPS:
+                            fin.append(2)
+                        finished_dma = [b_cid[i] for i in fin]
+                        for i in reversed(fin):
+                            del b_cid[i], b_rem[i], b_cap[i], b_rate[i]
+                        nb -= len(fin)
+                        if nb:
+                            b_dirty = True
+                        else:
+                            t_bus = inf
+                    else:
+                        best = inf
+                        if rate0 > 0.0:
+                            best = r0 / rate0
+                        if rate1 > 0.0:
+                            t = r1 / rate1
+                            if t < best:
+                                best = t
+                        if rate2 > 0.0:
+                            t = r2 / rate2
+                            if t < best:
+                                best = t
+                        t_bus = t_next + best
+                elif nb >= vec_min:
+                    new_rem, fin = bus_mod.advance_wide(b_rem, b_rate, dt)
+                    b_rem[:] = new_rem
+                    if fin:
+                        finished_dma = [b_cid[i] for i in fin]
+                        for i in reversed(fin):
+                            del b_cid[i], b_rem[i], b_cap[i], b_rate[i]
+                        nb -= len(fin)
+                        if nb:
+                            b_dirty = True
+                        else:
+                            t_bus = inf
+                    else:
+                        t_bus = t_next + bus_mod.eta_wide(b_rem, b_rate)
+                else:
+                    fin = None
+                    best = inf
+                    for i in range(nb):
+                        rate = b_rate[i]
+                        r = b_rem[i] - rate * dt
+                        b_rem[i] = r
+                        if r <= _BUS_EPS:
+                            if fin is None:
+                                fin = [i]
+                            else:
+                                fin.append(i)
+                        elif rate > 0.0:
+                            t = r / rate
+                            if t < best:
+                                best = t
+                    if fin is not None:
+                        finished_dma = [b_cid[i] for i in fin]
+                        for i in reversed(fin):
+                            del b_cid[i], b_rem[i], b_cap[i], b_rate[i]
+                        nb -= len(fin)
+                        if nb:
+                            b_dirty = True
+                        else:
+                            t_bus = inf
+                    else:
+                        t_bus = t_next + best
+            elif t_next == t_bus and t_next <= clock:
+                # dt == 0 can finish nothing through the decrement pass
+                # (every residual exceeded the epsilon when it was last
+                # written), so when the bus eta underflowed the clock's
+                # float resolution, retire the nearest transfer(s)
+                # directly rather than spinning at dt == 0
+                # (FluidBus.force_min_completion, inlined).
                 nearest = inf
                 for i in range(nb):
                     rate = b_rate[i]
@@ -491,92 +842,52 @@ def _simulate_clean(program: Program, npu: NPUConfig, seed: int) -> SimResult:
                             fin.append(i)
                 finished_dma = [b_cid[i] for i in fin]
                 for i in reversed(fin):
-                    del b_cid[i]
-                    del b_rem[i]
-                    del b_cap[i]
-                    del b_rate[i]
-                b_dirty = True
+                    del b_cid[i], b_rem[i], b_cap[i], b_rate[i]
+                nb -= len(fin)
+                if nb:
+                    b_dirty = True
+                else:
+                    t_bus = inf
         clock = t_next
         if finished_dma:
             for cid in finished_dma:
                 done_at[cid] = clock
-                completed += 1
+                remaining -= 1
                 qid = qid_of[cid]
                 qbusy[qid] = False
-                check.append(qid)
+                check_append(qid)
                 for consumer in consumers[cid]:
                     left = indeg[consumer] - 1
                     indeg[consumer] = left
                     if not left:
-                        check.append(qid_of[consumer])
-        threshold = clock + _EPS
-        while heap and heap[0][0] <= threshold:
-            _, _, cid = heappop(heap)
-            if evkind[cid]:
-                b_cid.append(cid)
-                b_rem.append(num_bytes_f[cid])
-                b_cap.append(dma_cap[cid])
-                b_rate.append(0.0)
-                b_dirty = True
-            else:
-                done_at[cid] = clock
-                completed += 1
-                qid = qid_of[cid]
-                qbusy[qid] = False
-                check.append(qid)
-                for consumer in consumers[cid]:
-                    left = indeg[consumer] - 1
-                    indeg[consumer] = left
-                    if not left:
-                        check.append(qid_of[consumer])
-
-    # Trace-only readiness fields, derived post-run.  A command starts
-    # the moment its last enabler completes: the in-queue predecessor
-    # (which also freed the engine) or its slowest dependency -- these
-    # are selections among final completion times, never arithmetic, so
-    # the values are bit-identical to the in-loop bookkeeping they
-    # replace.
-    prev_q = plan.prev_q
-    deps_of = plan.deps_of
-    own_deps_of = plan.own_deps_of
-    starts = [0.0] * total
-    r_own = [0.0] * total
-    r_dep = [0.0] * total
-    for cid in range(total):
-        p = prev_q[cid]
-        base = done_at[p] if p >= 0 else 0.0
-        dep = 0.0
-        for d in deps_of[cid]:
-            t = done_at[d]
-            if t > dep:
-                dep = t
-        own = base
-        for d in own_deps_of[cid]:
-            t = done_at[d]
-            if t > own:
-                own = t
-        starts[cid] = base if base > dep else dep
-        r_own[cid] = own
-        r_dep[cid] = dep
-
-    # Materialize events in (start, cid) order directly; the prototype
-    # dicts carry the eight static fields and ``object.__new__`` skips
-    # the frozen-dataclass __init__/__setattr__ machinery (the hottest
-    # part of trace assembly at tens of thousands of events per run).
-    protos = plan.protos
-    new = object.__new__
-    set_attr = object.__setattr__
-    events: List[TraceEvent] = []
-    append = events.append
-    for s, cid in sorted(zip(starts, range(total))):
-        d = protos[cid].copy()
-        d["start"] = s
-        d["end"] = done_at[cid]
-        d["own_ready"] = r_own[cid]
-        d["dep_ready"] = r_dep[cid]
-        ev = new(TraceEvent)
-        set_attr(ev, "__dict__", d)
-        append(ev)
-    trace = Trace(events=events)
-    makespan = max(done_at) if done_at else 0.0
-    return SimResult(trace=trace, makespan_cycles=makespan, npu=npu)
+                        check_append(qid_of[consumer])
+        if heap:
+            # Batch-retire every heap event inside this epoch's epsilon
+            # window in one pass (one peek per pop instead of a fresh
+            # bound check each iteration).
+            threshold = clock + _EPS
+            h0 = heap[0]
+            while h0[0] <= threshold:
+                cid = heappop(heap)[2]
+                if evkind[cid]:
+                    b_cid.append(cid)
+                    b_rem.append(num_bytes_f[cid])
+                    b_cap.append(dma_cap[cid])
+                    b_rate.append(0.0)
+                    nb += 1
+                    b_dirty = True
+                else:
+                    done_at[cid] = clock
+                    remaining -= 1
+                    qid = qid_of[cid]
+                    qbusy[qid] = False
+                    check_append(qid)
+                    for consumer in consumers[cid]:
+                        left = indeg[consumer] - 1
+                        indeg[consumer] = left
+                        if not left:
+                            check_append(qid_of[consumer])
+                if not heap:
+                    break
+                h0 = heap[0]
+    return done_at

@@ -132,10 +132,12 @@ def count_barrier_groups(trace: Trace) -> int:
     tenant's core group (tenant prefixes keep the labels distinct across
     tenants and repeated frames).
     """
+    layers = trace.column("layer")
+    tags = trace.column("tag")
+    core_col = trace.column("core")
     events_by_label: Dict[Tuple[str, str], List[int]] = {}
-    for e in trace.events:
-        if e.kind is CommandKind.BARRIER:
-            events_by_label.setdefault((e.layer, e.tag), []).append(e.core)
+    for p in trace.positions("kind", CommandKind.BARRIER):
+        events_by_label.setdefault((layers[p], tags[p]), []).append(core_col[p])
     groups = 0
     for cores in events_by_label.values():
         # A label normally appears once per participating core; repeated
@@ -145,29 +147,42 @@ def count_barrier_groups(trace: Trace) -> int:
 
 
 def collect_stats(trace: Trace, npu: NPUConfig) -> RunStats:
-    """Aggregate a trace into :class:`RunStats`."""
+    """Aggregate a trace into :class:`RunStats`.
+
+    Reads the trace's columns directly (no TraceEvent materialization).
+    The per-core accumulations walk event positions in event order, so
+    every float sum sees the exact operand sequence of the event-object
+    scan this replaces.
+    """
     makespan = trace.makespan
+    kind_col = trace.column("kind")
+    bytes_col = trace.column("num_bytes")
+    macs_col = trace.column("macs")
+    start_col = trace.column("start")
+    end_col = trace.column("end")
+    own_col = trace.column("own_ready")
     cores: List[CoreStats] = []
     for core in range(npu.num_cores):
-        events = trace.for_core(core)
         bytes_by_kind: Dict[CommandKind, int] = {}
         transfer = 0
         halo = 0
         macs = 0
         sync_wait = 0.0
-        for e in events:
-            if e.kind in _TRANSFER_KINDS:
-                bytes_by_kind[e.kind] = bytes_by_kind.get(e.kind, 0) + e.num_bytes
-                transfer += e.num_bytes
-            elif e.kind in _HALO_KINDS:
-                bytes_by_kind[e.kind] = bytes_by_kind.get(e.kind, 0) + e.num_bytes
-                if e.kind is CommandKind.HALO_RECV:
-                    halo += e.num_bytes
-            macs += e.macs
-            if e.kind in (CommandKind.BARRIER, CommandKind.HALO_RECV):
-                sync_wait += e.remote_wait
-                if e.kind is CommandKind.BARRIER:
-                    sync_wait += e.duration
+        for p in trace.positions("core", core):
+            kind = kind_col[p]
+            nb = bytes_col[p]
+            if kind in _TRANSFER_KINDS:
+                bytes_by_kind[kind] = bytes_by_kind.get(kind, 0) + nb
+                transfer += nb
+            elif kind in _HALO_KINDS:
+                bytes_by_kind[kind] = bytes_by_kind.get(kind, 0) + nb
+                if kind is CommandKind.HALO_RECV:
+                    halo += nb
+            macs += macs_col[p]
+            if kind in (CommandKind.BARRIER, CommandKind.HALO_RECV):
+                sync_wait += max(0.0, start_col[p] - own_col[p])
+                if kind is CommandKind.BARRIER:
+                    sync_wait += end_col[p] - start_col[p]
         busy = trace.busy_time(core)
         compute_busy = trace.busy_time(core, Engine.COMPUTE)
         cores.append(
@@ -185,11 +200,16 @@ def collect_stats(trace: Trace, npu: NPUConfig) -> RunStats:
         )
 
     sync_samples: List[float] = []
-    for e in trace.events:
-        if e.kind is CommandKind.BARRIER:
-            sync_samples.append(e.remote_wait + e.duration)
-        elif e.kind is CommandKind.HALO_RECV:
-            sync_samples.append(e.remote_wait)
+    sample_positions = sorted(
+        trace.positions("kind", CommandKind.BARRIER)
+        + trace.positions("kind", CommandKind.HALO_RECV)
+    )
+    for p in sample_positions:
+        wait = max(0.0, start_col[p] - own_col[p])
+        if kind_col[p] is CommandKind.BARRIER:
+            sync_samples.append(wait + (end_col[p] - start_col[p]))
+        else:
+            sync_samples.append(wait)
 
     return RunStats(
         makespan_cycles=makespan,
@@ -197,6 +217,6 @@ def collect_stats(trace: Trace, npu: NPUConfig) -> RunStats:
         cores=tuple(cores),
         total_macs=sum(c.macs for c in cores),
         num_barriers=count_barrier_groups(trace),
-        num_halo_exchanges=len(trace.of_kind(CommandKind.HALO_RECV)),
+        num_halo_exchanges=len(trace.positions("kind", CommandKind.HALO_RECV)),
         sync_overhead_samples=tuple(sync_samples),
     )

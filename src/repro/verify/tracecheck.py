@@ -27,17 +27,23 @@ _EPS = 1e-6
 def check_trace(program: Program, trace: Trace) -> PassResult:
     """Cross-check one simulated trace against its program."""
     result = PassResult(name="trace")
-    by_cid = {}
-    for event in trace.events:
-        if event.cid in by_cid:
+    # Column reads only: verification never materializes TraceEvents.
+    cid_col = trace.column("cid")
+    start_col = trace.column("start")
+    end_col = trace.column("end")
+    layer_col = trace.column("layer")
+    core_col = trace.column("core")
+    by_cid: Dict[int, int] = {}
+    for pos, cid in enumerate(cid_col):
+        if cid in by_cid:
             result.emit(
                 "RPR603",
-                f"command #{event.cid} appears twice in the trace",
-                layer=event.layer,
-                core=event.core,
-                cid=event.cid,
+                f"command #{cid} appears twice in the trace",
+                layer=layer_col[pos],
+                core=core_col[pos],
+                cid=cid,
             )
-        by_cid[event.cid] = event
+        by_cid[cid] = pos
 
     for cmd in program.commands:
         if cmd.cid not in by_cid:
@@ -62,19 +68,21 @@ def check_trace(program: Program, trace: Trace) -> PassResult:
     # Dependencies: an event may start only after its deps completed.
     dep_checks = 0
     for cmd in program.commands:
-        event = by_cid.get(cmd.cid)
-        if event is None:
+        pos = by_cid.get(cmd.cid)
+        if pos is None:
             continue
+        start = start_col[pos]
         for dep in cmd.deps:
-            dep_event = by_cid.get(dep)
-            if dep_event is None:
+            dep_pos = by_cid.get(dep)
+            if dep_pos is None:
                 continue
             dep_checks += 1
-            if event.start < dep_event.end - _EPS:
+            dep_end = end_col[dep_pos]
+            if start < dep_end - _EPS:
                 result.emit(
                     "RPR601",
-                    f"command #{cmd.cid} started at {event.start:.1f} before "
-                    f"dependency #{dep} finished at {dep_event.end:.1f}",
+                    f"command #{cmd.cid} started at {start:.1f} before "
+                    f"dependency #{dep} finished at {dep_end:.1f}",
                     layer=cmd.layer,
                     core=cmd.core,
                     cid=cmd.cid,
@@ -83,29 +91,27 @@ def check_trace(program: Program, trace: Trace) -> PassResult:
                 )
 
     # Engine queues: serialized, in program order.
-    queues: Dict[Tuple[int, Engine], List] = {}
-    order: Dict[Tuple[int, Engine], List[int]] = {}
+    queues: Dict[Tuple[int, Engine], List[int]] = {}
     for cmd in program.commands:
-        order.setdefault((cmd.core, cmd.engine), []).append(cmd.cid)
-        event = by_cid.get(cmd.cid)
-        if event is not None:
-            queues.setdefault((cmd.core, cmd.engine), []).append(event)
-    for key, events in queues.items():
-        for prev, nxt in zip(events, events[1:]):
-            if nxt.start < prev.end - _EPS:
+        pos = by_cid.get(cmd.cid)
+        if pos is not None:
+            queues.setdefault((cmd.core, cmd.engine), []).append(pos)
+    for key, positions in queues.items():
+        for prev, nxt in zip(positions, positions[1:]):
+            if start_col[nxt] < end_col[prev] - _EPS:
                 result.emit(
                     "RPR602",
-                    f"commands #{prev.cid} and #{nxt.cid} overlap on "
+                    f"commands #{cid_col[prev]} and #{cid_col[nxt]} overlap on "
                     f"core {key[0]} engine {key[1].value} "
-                    f"([{prev.start:.1f},{prev.end:.1f}] vs "
-                    f"[{nxt.start:.1f},{nxt.end:.1f}])",
-                    layer=nxt.layer,
+                    f"([{start_col[prev]:.1f},{end_col[prev]:.1f}] vs "
+                    f"[{start_col[nxt]:.1f},{end_col[nxt]:.1f}])",
+                    layer=layer_col[nxt],
                     core=key[0],
-                    cid=nxt.cid,
+                    cid=cid_col[nxt],
                     hint="hardware queues process one command at a time, "
                     "in program order",
                 )
 
-    result.stats["events"] = len(trace.events)
+    result.stats["events"] = len(trace)
     result.stats["dependency_checks"] = dep_checks
     return result

@@ -8,6 +8,7 @@ from repro.compiler import CompileOptions, compile_model
 from repro.hw import exynos2100_like
 from repro.models import inception_v3_stem
 from repro.sim import simulate
+from repro.sim.trace import Trace
 from repro.verify import (
     PASS_NAMES,
     VerificationError,
@@ -75,22 +76,18 @@ class TestTraceCrossCheck:
             if stratum_chain.program.command(e.cid).deps and e.start > 0
         )
         events[victim_index] = dataclasses.replace(victim, start=0.0)
-        forged = dataclasses.replace(result.trace, events=events)
+        forged = Trace(events=events)
         check = check_trace(stratum_chain.program, forged)
         assert any(d.code in ("RPR601", "RPR602") for d in check.diagnostics)
 
     def test_missing_event_detected(self, stratum_chain):
         result = simulate(stratum_chain.program, stratum_chain.npu)
-        truncated = dataclasses.replace(
-            result.trace, events=result.trace.events[:-1]
-        )
+        truncated = Trace(events=result.trace.events[:-1])
         check = check_trace(stratum_chain.program, truncated)
         assert any(d.code == "RPR603" for d in check.diagnostics)
 
     def test_duplicate_event_detected(self, stratum_chain):
         result = simulate(stratum_chain.program, stratum_chain.npu)
-        doubled = dataclasses.replace(
-            result.trace, events=result.trace.events + result.trace.events[-1:]
-        )
+        doubled = Trace(events=result.trace.events + result.trace.events[-1:])
         check = check_trace(stratum_chain.program, doubled)
         assert any(d.code == "RPR603" for d in check.diagnostics)
